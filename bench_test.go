@@ -1,0 +1,281 @@
+package bees_test
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// ablation benches for the design choices DESIGN.md calls out. Each
+// bench runs the corresponding harness experiment at laptop scale and
+// reports the headline quantities with b.ReportMetric, so
+// `go test -bench=. -benchmem` regenerates every result. cmd/beesbench
+// prints the same experiments as full tables.
+
+import (
+	"testing"
+
+	"bees/internal/harness"
+)
+
+func BenchmarkFig3PrecisionVsCompression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := harness.DefaultFig3Options()
+		opts.Groups, opts.Queries = 60, 30
+		res := harness.RunFig3(opts)
+		for _, r := range res {
+			if r.Proportion == 0.4 {
+				b.ReportMetric(r.NormalizedPrecision, "normPrecision@0.4")
+			}
+		}
+	}
+}
+
+func BenchmarkFig3EnergyVsCompression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := harness.DefaultFig3Options()
+		opts.Groups, opts.Queries = 40, 10
+		res := harness.RunFig3(opts)
+		for _, r := range res {
+			if r.Proportion == 0.4 {
+				b.ReportMetric(r.NormalizedEnergy, "normEnergy@0.4")
+			}
+		}
+	}
+}
+
+func BenchmarkFig4SimilarityDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := harness.DefaultFig4Options()
+		opts.Pairs = 150
+		res := harness.RunFig4(opts)
+		for _, p := range res.Points {
+			if p.Threshold == 0.013 {
+				b.ReportMetric(p.TPR, "TPR@0.013")
+				b.ReportMetric(p.FPR, "FPR@0.013")
+			}
+		}
+	}
+}
+
+func BenchmarkFig5QualityCompression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := harness.DefaultFig5Options()
+		opts.ImageCounts = []int{50}
+		pts := harness.RunFig5Quality(opts)
+		var base, at85 int
+		var ssim85 float64
+		for _, p := range pts {
+			if p.Proportion == 0.5 {
+				base = p.Bytes
+			}
+			if p.Proportion == 0.85 {
+				at85, ssim85 = p.Bytes, p.SSIM
+			}
+		}
+		if base > 0 {
+			b.ReportMetric(float64(at85)/float64(base), "bytes@0.85/bytes@0.5")
+		}
+		b.ReportMetric(ssim85, "SSIM@0.85")
+	}
+}
+
+func BenchmarkFig5ResolutionCompression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := harness.DefaultFig5Options()
+		opts.ImageCounts = []int{50}
+		pts := harness.RunFig5Resolution(opts)
+		var base, at76 int
+		for _, p := range pts {
+			if p.Proportion == 0.5 {
+				base = p.Bytes
+			}
+			if p.Proportion == 0.75 {
+				at76 = p.Bytes
+			}
+		}
+		if base > 0 {
+			b.ReportMetric(float64(at76)/float64(base), "bytes@0.75/bytes@0.5")
+		}
+	}
+}
+
+func BenchmarkFig6PrecisionBySchemes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := harness.DefaultFig6Options()
+		opts.Groups, opts.Queries = 40, 20
+		res := harness.RunFig6(opts)
+		for _, r := range res {
+			switch r.Scheme {
+			case "BEES(100)":
+				b.ReportMetric(r.Normalized, "BEES100/SIFT")
+			case "BEES(10)":
+				b.ReportMetric(r.Normalized, "BEES10/SIFT")
+			}
+		}
+	}
+}
+
+func BenchmarkTable1SpaceOverheads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := harness.DefaultTable1Options()
+		opts.Sample = 24
+		rows := harness.RunTable1(opts)
+		b.ReportMetric(rows[0].ORBPct, "ORB%ofSIFT-Kentucky")
+		b.ReportMetric(rows[1].ORBPct, "ORB%ofSIFT-Paris")
+	}
+}
+
+func BenchmarkFig7EnergyOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := harness.DefaultBatchStudyOptions()
+		opts.BatchSize, opts.InBatchDup = 40, 4
+		opts.Ratios = []float64{0.25}
+		cells := harness.RunBatchStudy(opts, harness.StudySchemes())
+		energies := map[string]float64{}
+		for _, c := range cells {
+			energies[c.Scheme] = c.EnergyJ
+		}
+		if mrc := energies["MRC"]; mrc > 0 {
+			b.ReportMetric(1-energies["BEES"]/mrc, "energySavingVsMRC")
+		}
+		if d := energies["Direct Upload"]; d > 0 {
+			b.ReportMetric(1-energies["BEES"]/d, "energySavingVsDirect")
+		}
+	}
+}
+
+func BenchmarkFig8EnergyAwareAdaptation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := harness.DefaultFig8Options()
+		opts.BatchSize, opts.InBatchDup = 40, 4
+		rows := harness.RunFig8(opts)
+		var full, low float64
+		for _, r := range rows {
+			if r.Ebat == 1.0 {
+				full = r.TotalJ
+			}
+			if r.Ebat == 0.1 {
+				low = r.TotalJ
+			}
+		}
+		if full > 0 {
+			b.ReportMetric(1-low/full, "energySaving@Ebat10")
+		}
+	}
+}
+
+func BenchmarkFig9BatteryLifetime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := harness.RunFig9(harness.DefaultFig9Options())
+		for _, r := range rows {
+			switch r.Scheme {
+			case "BEES":
+				b.ReportMetric(r.ExtensionPct, "BEESextension%")
+			case "BEES-EA":
+				b.ReportMetric(r.ExtensionPct, "BEESEAextension%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig10Bandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := harness.DefaultBatchStudyOptions()
+		opts.BatchSize, opts.InBatchDup = 40, 4
+		opts.Ratios = []float64{0.5}
+		cells := harness.RunBatchStudy(opts, harness.StudySchemes())
+		bytesBy := map[string]int{}
+		for _, c := range cells {
+			bytesBy[c.Scheme] = c.Bytes
+		}
+		if se := bytesBy["SmartEye"]; se > 0 {
+			b.ReportMetric(1-float64(bytesBy["BEES"])/float64(se), "bandwidthSavingVsSmartEye")
+		}
+	}
+}
+
+func BenchmarkFig11Delay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := harness.DefaultFig11Options()
+		opts.BatchSize, opts.InBatchDup = 40, 4
+		opts.BitratesBps = []float64{256000}
+		cells := harness.RunFig11(opts)
+		delays := map[string]float64{}
+		for _, c := range cells {
+			delays[c.Scheme] = c.AvgDelay.Seconds()
+		}
+		if d := delays["Direct Upload"]; d > 0 {
+			b.ReportMetric(1-delays["BEES"]/d, "delaySavingVsDirect")
+		}
+		if m := delays["MRC"]; m > 0 {
+			b.ReportMetric(1-delays["BEES"]/m, "delaySavingVsMRC")
+		}
+	}
+}
+
+func BenchmarkFig12Coverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		// Use the validated default fleet size: shrinking the image pool
+		// further makes BEES image-limited instead of battery-limited,
+		// which inverts the effect Fig. 12 measures.
+		opts := harness.DefaultFig12Options()
+		rows := harness.RunFig12(opts)
+		b.ReportMetric(rows[1].ImagesVsDirect, "imagesVsDirect%")
+		b.ReportMetric(rows[1].LocationsVsDirect, "locationsVsDirect%")
+	}
+}
+
+func BenchmarkAblationFixedBudget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := harness.RunAblationBudget(500, 24, []int{0, 6, 12})
+		var worst float64
+		for _, r := range rows {
+			diff := float64(r.AdaptiveSel - r.TrueUnique)
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > worst {
+				worst = diff
+			}
+		}
+		b.ReportMetric(worst, "worstBudgetError")
+	}
+}
+
+func BenchmarkAblationGreedy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := harness.RunAblationGreedy(501, 20)
+		worst := 1.0
+		for _, r := range rows {
+			if r.GreedyRatio < worst {
+				worst = r.GreedyRatio
+			}
+		}
+		b.ReportMetric(worst, "worstGreedy/opt")
+	}
+}
+
+func BenchmarkAblationIndex(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := harness.RunAblationIndex(502, 40, 20)
+		b.ReportMetric(r.Agreement, "LSHagreement")
+	}
+}
+
+func BenchmarkAblationIBRD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := harness.RunAblationIBRD(520, 24, []int{8})
+		b.ReportMetric(rows[0].SavingPct, "IBRDsaving%")
+	}
+}
+
+func BenchmarkExtensionDetection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := harness.RunExtensionDetection(harness.DefaultDetectionOptions())
+		for _, r := range rows {
+			switch r.Scheme {
+			case "BEES":
+				b.ReportMetric(r.Recall, "BEESrecall")
+			case "PhotoNet":
+				b.ReportMetric(r.Recall, "PhotoNetRecall")
+				b.ReportMetric(r.Precision, "PhotoNetPrecision")
+			}
+		}
+	}
+}

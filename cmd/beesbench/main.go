@@ -1,0 +1,133 @@
+// Command beesbench regenerates every table and figure of the paper's
+// evaluation and prints them as text tables, with the paper's reported
+// numbers quoted in the notes for side-by-side comparison.
+//
+// Usage:
+//
+//	beesbench [-only fig3,fig9,...] [-scale 1.0]
+//
+// -scale multiplies workload sizes (1.0 ≈ laptop-scale defaults; the
+// paper-scale runs need several hours).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"bees/internal/harness"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("beesbench: ")
+	only := flag.String("only", "", "comma-separated experiment list (default: all)")
+	scale := flag.Float64("scale", 1.0, "workload scale multiplier")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(name))] = true
+		}
+	}
+	selected := func(name string) bool { return len(want) == 0 || want[name] }
+	sc := func(n int) int {
+		v := int(float64(n) * *scale)
+		if v < 4 {
+			v = 4
+		}
+		return v
+	}
+
+	type experiment struct {
+		name string
+		run  func() *harness.Table
+	}
+	experiments := []experiment{
+		{"fig3", func() *harness.Table {
+			opts := harness.DefaultFig3Options()
+			opts.Groups, opts.Queries = sc(opts.Groups), sc(opts.Queries)
+			return harness.Fig3Table(harness.RunFig3(opts))
+		}},
+		{"fig4", func() *harness.Table {
+			opts := harness.DefaultFig4Options()
+			opts.Pairs = sc(opts.Pairs)
+			return harness.Fig4Table(harness.RunFig4(opts))
+		}},
+		{"fig5a", func() *harness.Table {
+			return harness.Fig5Table(harness.RunFig5Quality(harness.DefaultFig5Options()), true)
+		}},
+		{"fig5b", func() *harness.Table {
+			return harness.Fig5Table(harness.RunFig5Resolution(harness.DefaultFig5Options()), false)
+		}},
+		{"fig6", func() *harness.Table {
+			opts := harness.DefaultFig6Options()
+			opts.Groups, opts.Queries = sc(opts.Groups), sc(opts.Queries)
+			return harness.Fig6Table(harness.RunFig6(opts))
+		}},
+		{"table1", func() *harness.Table {
+			opts := harness.DefaultTable1Options()
+			opts.Sample = sc(opts.Sample)
+			return harness.Table1Table(harness.RunTable1(opts))
+		}},
+		{"fig7", func() *harness.Table {
+			opts := harness.DefaultBatchStudyOptions()
+			opts.BatchSize, opts.InBatchDup = sc(opts.BatchSize), sc(opts.InBatchDup)
+			return harness.Fig7Table(harness.RunBatchStudy(opts, harness.StudySchemes()))
+		}},
+		{"fig8", func() *harness.Table {
+			opts := harness.DefaultFig8Options()
+			opts.BatchSize, opts.InBatchDup = sc(opts.BatchSize), sc(opts.InBatchDup)
+			return harness.Fig8Table(harness.RunFig8(opts))
+		}},
+		{"fig9", func() *harness.Table {
+			return harness.Fig9Table(harness.RunFig9(harness.DefaultFig9Options()))
+		}},
+		{"fig10", func() *harness.Table {
+			opts := harness.DefaultBatchStudyOptions()
+			opts.BatchSize, opts.InBatchDup = sc(opts.BatchSize), sc(opts.InBatchDup)
+			return harness.Fig10Table(harness.RunBatchStudy(opts, harness.StudySchemes()))
+		}},
+		{"fig11", func() *harness.Table {
+			opts := harness.DefaultFig11Options()
+			opts.BatchSize, opts.InBatchDup = sc(opts.BatchSize), sc(opts.InBatchDup)
+			return harness.Fig11Table(harness.RunFig11(opts))
+		}},
+		{"fig12", func() *harness.Table {
+			return harness.Fig12Table(harness.RunFig12(harness.DefaultFig12Options()))
+		}},
+		{"ablation-budget", func() *harness.Table {
+			return harness.AblationBudgetTable(harness.RunAblationBudget(500, sc(24), []int{0, 6, 12}))
+		}},
+		{"ablation-greedy", func() *harness.Table {
+			return harness.AblationGreedyTable(harness.RunAblationGreedy(501, sc(15)))
+		}},
+		{"ablation-index", func() *harness.Table {
+			return harness.AblationIndexTable(harness.RunAblationIndex(502, sc(30), sc(15)))
+		}},
+		{"ablation-ibrd", func() *harness.Table {
+			return harness.AblationIBRDTable(harness.RunAblationIBRD(520, sc(30), []int{0, 4, 8, 12}))
+		}},
+		{"extension-codec", func() *harness.Table {
+			return harness.CodecComparisonTable(harness.RunCodecComparison(530, sc(20), nil))
+		}},
+		{"extension-detection", func() *harness.Table {
+			opts := harness.DefaultDetectionOptions()
+			opts.BatchSize, opts.InBatchDup = sc(opts.BatchSize), sc(opts.InBatchDup)
+			return harness.DetectionTable(harness.RunExtensionDetection(opts))
+		}},
+	}
+
+	for _, e := range experiments {
+		if !selected(e.name) {
+			continue
+		}
+		start := time.Now()
+		tbl := e.run()
+		fmt.Println(tbl.String())
+		fmt.Printf("(%s finished in %s)\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+}

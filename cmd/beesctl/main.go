@@ -1,0 +1,109 @@
+// Command beesctl is the BEES smartphone client: it generates a
+// synthetic disaster image batch and pushes it through a chosen scheme
+// to a beesd server over TCP, printing the batch report.
+//
+// Usage:
+//
+//	beesctl [-addr 127.0.0.1:7700] [-scheme bees|bees-ea|direct|smarteye|mrc]
+//	        [-batch 100] [-inbatch 10] [-seed 1] [-ebat 1.0] [-bitrate 256000]
+//	        [-repeat 1]
+//
+// Repeating the same seed demonstrates cross-batch elimination: the
+// second run finds the first run's images in the server index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"bees/internal/baseline"
+	"bees/internal/client"
+	"bees/internal/core"
+	"bees/internal/dataset"
+	"bees/internal/energy"
+	"bees/internal/netsim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("beesctl: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7700", "beesd server address")
+		scheme  = flag.String("scheme", "bees", "bees|bees-ea|direct|smarteye|mrc")
+		batch   = flag.Int("batch", 100, "batch size")
+		inBatch = flag.Int("inbatch", 10, "in-batch near-duplicates")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		ebat    = flag.Float64("ebat", 1.0, "starting battery fraction")
+		bitrate = flag.Float64("bitrate", 256000, "uplink bitrate (bps)")
+		gilbert = flag.Bool("gilbert", false, "bursty Gilbert-Elliott link (good=bitrate, bad=bitrate/8)")
+		repeat  = flag.Int("repeat", 1, "number of batches to upload")
+	)
+	flag.Parse()
+
+	s, err := pickScheme(*scheme)
+	if err != nil {
+		return err
+	}
+	c, err := client.Dial(*addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	remote := client.NewRemoteServer(c)
+
+	link := netsim.NewLink(*bitrate)
+	if *gilbert {
+		link = netsim.NewGilbertLink(*bitrate, *bitrate/8, 0.1, 0.3, *seed).AsLink()
+	}
+	dev := core.NewDevice(nil, link, energy.DefaultModel())
+	dev.Battery.SetEbat(*ebat)
+
+	for i := 0; i < *repeat; i++ {
+		d := dataset.NewDisasterBatch(*seed+int64(i), *batch, *inBatch, 0)
+		r := s.ProcessBatch(dev, remote, d.Batch)
+		fmt.Printf("batch %d/%d via %s\n", i+1, *repeat, r.Scheme)
+		fmt.Printf("  images: %d total, %d uploaded, %d cross-eliminated, %d in-batch eliminated\n",
+			r.Total, r.Uploaded, r.CrossEliminated, r.InBatchEliminated)
+		fmt.Printf("  bytes: %.2f MB (features %.2f MB, images %.2f MB)\n",
+			mbf(r.TotalBytes()), mbf(r.FeatureBytes), mbf(r.ImageBytes))
+		fmt.Printf("  energy: %.1f J, delay: %.1fs (%.2fs/image), battery now %.1f%%\n",
+			r.Energy.Total(), r.Delay.Seconds(), r.AvgDelayPerImage().Seconds(),
+			100*r.EbatAfter)
+	}
+	if err := remote.Err(); err != nil {
+		return fmt.Errorf("transport errors occurred, last: %w", err)
+	}
+	images, bytes, err := c.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("server now holds %d images (%.2f MB received)\n", images, mbf(int(bytes)))
+	return nil
+}
+
+func pickScheme(name string) (core.Scheme, error) {
+	switch name {
+	case "bees":
+		return baseline.NewBEES(), nil
+	case "bees-ea":
+		return baseline.NewBEESEA(), nil
+	case "direct":
+		return baseline.Direct{}, nil
+	case "smarteye":
+		return baseline.NewSmartEye(), nil
+	case "mrc":
+		return baseline.NewMRC(), nil
+	default:
+		return nil, fmt.Errorf("unknown scheme %q", name)
+	}
+}
+
+func mbf(b int) float64 { return float64(b) / (1 << 20) }

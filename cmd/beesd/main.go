@@ -1,0 +1,67 @@
+// Command beesd runs the BEES cloud server: it accepts feature-batch
+// queries and image uploads over the wire protocol and maintains the
+// similarity index used for cross-batch redundancy detection.
+//
+// Usage:
+//
+//	beesd [-addr 127.0.0.1:7700] [-state /path/to/state.bees]
+//
+// With -state, the server restores its index from the snapshot at
+// startup and writes it back on shutdown, so redundancy detection
+// carries across restarts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"bees/internal/server"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("beesd: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:7700", "listen address")
+	state := flag.String("state", "", "snapshot file (restored on start, saved on shutdown)")
+	flag.Parse()
+
+	srv := server.NewDefault()
+	if *state != "" {
+		if err := srv.LoadSnapshotFile(*state); err != nil {
+			return fmt.Errorf("restore %s: %w", *state, err)
+		}
+		if st := srv.Stats(); st.Images > 0 {
+			fmt.Printf("restored %d images from %s\n", st.Images, *state)
+		}
+	}
+	tcp := server.NewTCP(srv)
+	bound, err := tcp.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("beesd listening on %s\n", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	st := srv.Stats()
+	fmt.Printf("shutting down: %d images, %d bytes received\n", st.Images, st.BytesReceived)
+	if *state != "" {
+		if err := srv.SaveSnapshotFile(*state); err != nil {
+			log.Printf("snapshot save failed: %v", err)
+		} else {
+			fmt.Printf("state saved to %s\n", *state)
+		}
+	}
+	return tcp.Close()
+}

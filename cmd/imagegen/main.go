@@ -1,0 +1,150 @@
+// Command imagegen inspects the synthetic image substrate: it renders a
+// dataset sample as ASCII art, reports similarity statistics between
+// same-scene and cross-scene pairs, and shows file sizes under the AIU
+// compression settings. It exists to make the synthetic datasets
+// auditable without a graphics stack.
+//
+// Usage:
+//
+//	imagegen [-seed 1] [-mode preview|stats|sizes|export] [-n 40] [-out DIR]
+//
+// Mode export writes n scene renders (and one same-scene variant each)
+// as binary PGM files for inspection with any image viewer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"path/filepath"
+	"sort"
+
+	"bees/internal/dataset"
+	"bees/internal/features"
+	"bees/internal/imagelib"
+	"bees/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("imagegen: ")
+	seed := flag.Int64("seed", 1, "generator seed")
+	mode := flag.String("mode", "preview", "preview|stats|sizes|export")
+	n := flag.Int("n", 40, "sample size for stats/sizes/export")
+	out := flag.String("out", ".", "output directory for export")
+	flag.Parse()
+
+	switch *mode {
+	case "preview":
+		preview(*seed)
+	case "stats":
+		stats(*seed, *n)
+	case "sizes":
+		sizes(*seed, *n)
+	case "export":
+		if err := export(*seed, *n, *out); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+}
+
+// preview renders one scene and a same-scene variant side by side.
+func preview(seed int64) {
+	b := dataset.NewBuilder(seed, 100)
+	grp := b.NewScene()
+	ref := b.Image(grp, dataset.KindCanonical).Render()
+	alt := b.Image(grp, dataset.KindRandom).Render()
+	fmt.Println("canonical render                | same-scene variant")
+	printPair(ref, alt, 64, 24)
+	kps := features.ExtractORB(ref, features.DefaultConfig())
+	fmt.Printf("\nORB features on canonical: %d descriptors (%d bytes)\n", kps.Len(), kps.Bytes())
+}
+
+func printPair(a, b *imagelib.Raster, w, h int) {
+	da := imagelib.Downsample(a, w, h)
+	db := imagelib.Downsample(b, w, h)
+	ramp := []byte(" .:-=+*#%@")
+	for y := 0; y < h; y++ {
+		line := make([]byte, 0, 2*w+3)
+		for x := 0; x < w; x++ {
+			line = append(line, ramp[int(da.At(x, y))*len(ramp)/256])
+		}
+		line = append(line, ' ', '|', ' ')
+		for x := 0; x < w; x++ {
+			line = append(line, ramp[int(db.At(x, y))*len(ramp)/256])
+		}
+		fmt.Println(string(line))
+	}
+}
+
+// export writes scene renders and variants as PGM files.
+func export(seed int64, n int, dir string) error {
+	b := dataset.NewBuilder(seed, 500)
+	for i := 0; i < n; i++ {
+		grp := b.NewScene()
+		ref := b.Image(grp, dataset.KindCanonical)
+		alt := b.Image(grp, dataset.KindRandom)
+		refPath := filepath.Join(dir, fmt.Sprintf("scene%03d_a.pgm", i))
+		altPath := filepath.Join(dir, fmt.Sprintf("scene%03d_b.pgm", i))
+		if err := imagelib.SavePGM(refPath, ref.Render()); err != nil {
+			return err
+		}
+		if err := imagelib.SavePGM(altPath, alt.Render()); err != nil {
+			return err
+		}
+		ref.Free()
+		alt.Free()
+	}
+	fmt.Printf("wrote %d scene pairs to %s\n", n, dir)
+	return nil
+}
+
+// stats prints the Fig. 4-style similarity distribution on a sample.
+func stats(seed int64, n int) {
+	set := dataset.NewKentucky(seed, n)
+	cfg := features.DefaultConfig()
+	rng := rand.New(rand.NewSource(seed))
+	var sims, diss []float64
+	for g := 0; g < n; g++ {
+		ref := features.ExtractORB(set.Group(g)[0].Render(), cfg)
+		v := features.ExtractORB(set.Group(g)[1].Render(), cfg)
+		sims = append(sims, features.JaccardBinary(ref, v, features.DefaultHammingMax))
+		o := (g + 1 + rng.Intn(n-1)) % n
+		other := features.ExtractORB(set.Group(o)[0].Render(), cfg)
+		diss = append(diss, features.JaccardBinary(ref, other, features.DefaultHammingMax))
+		set.Group(g)[0].Free()
+		set.Group(g)[1].Free()
+	}
+	sort.Float64s(sims)
+	sort.Float64s(diss)
+	fmt.Printf("same-scene pairs (n=%d):  median %.4f  p5 %.4f  p95 %.4f\n",
+		len(sims), metrics.Quantile(sims, 0.5), metrics.Quantile(sims, 0.05), metrics.Quantile(sims, 0.95))
+	fmt.Printf("cross-scene pairs (n=%d): median %.4f  p90 %.4f  max %.4f\n",
+		len(diss), metrics.Quantile(diss, 0.5), metrics.Quantile(diss, 0.9), metrics.Quantile(diss, 1))
+	for _, th := range []float64{0.01, 0.013, 0.019} {
+		pts := metrics.Sweep(sims, diss, []float64{th})
+		fmt.Printf("threshold %.3f: TPR %.1f%%  FPR %.1f%%\n", th, 100*pts[0].TPR, 100*pts[0].FPR)
+	}
+}
+
+// sizes prints nominal file sizes under AIU compression settings.
+func sizes(seed int64, n int) {
+	b := dataset.NewBuilder(seed, 4000)
+	var full, quality, lowRes int
+	for i := 0; i < n; i++ {
+		img := b.Image(b.NewScene(), dataset.KindCanonical)
+		m := img.SizeModel()
+		raster := img.Render()
+		full += m.Bytes(raster, 0)
+		quality += m.Bytes(raster, 0.85)
+		lowRes += m.Bytes(imagelib.CompressBitmap(raster, 0.76), 0.85)
+		img.Free()
+	}
+	fmt.Printf("average over %d images (nominal %dx%d photos):\n", n, imagelib.NominalW, imagelib.NominalH)
+	fmt.Printf("  full quality/resolution:        %6.0f KB\n", float64(full)/float64(n)/1024)
+	fmt.Printf("  quality 0.85 (AIU fixed):       %6.0f KB\n", float64(quality)/float64(n)/1024)
+	fmt.Printf("  + resolution 0.76 (Ebat=5%%):    %6.0f KB\n", float64(lowRes)/float64(n)/1024)
+}

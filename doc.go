@@ -1,0 +1,50 @@
+// Package bees is a bandwidth- and energy-efficient image sharing system
+// for real-time situation awareness in disaster environments, reproducing
+// Zuo et al., "BEES: Bandwidth- and Energy-Efficient Image Sharing for
+// Real-Time Situation Awareness" (ICDCS 2017).
+//
+// # What BEES does
+//
+// Smartphones in a disaster area photograph their surroundings and upload
+// the images to a cloud server that responders query for situation
+// awareness. Bandwidth is scarce, batteries cannot be recharged, and many
+// photos are redundant. BEES makes the upload pipeline approximate in
+// three places and lets the remaining battery energy Ebat tune each
+// approximation:
+//
+//   - AFE (approximate feature extraction): ORB features are extracted
+//     from a bitmap shrunk by the EAC proportion C = 0.4 − 0.4·Ebat,
+//     trading a little detection precision for extraction energy.
+//   - ARD (approximate redundancy detection): an image is cross-batch
+//     redundant when its best server-side similarity exceeds the EDR
+//     threshold T = 0.013 + 0.006·Ebat; in-batch redundancy is removed by
+//     SSMM, a similarity-aware submodular maximization model that
+//     partitions the batch similarity graph at Tw (= T), takes the
+//     component count as the selection budget, and greedily maximizes a
+//     coverage + diversity objective.
+//   - AIU (approximate image uploading): survivors upload quality-
+//     compressed at the fixed proportion 0.85 and resolution-compressed
+//     by the EAU proportion Cr = 0.8 − 0.8·Ebat.
+//
+// # Using the package
+//
+// A minimal round trip:
+//
+//	srv := bees.NewServer()
+//	dev := bees.NewDevice(bees.WithBitrate(256_000))
+//	scheme := bees.New()                            // the BEES pipeline
+//	batch := bees.NewDisasterBatch(1, 100, 10, 0.5) // synthetic workload
+//	report := scheme.ProcessBatch(dev, srv, batch.Batch)
+//	fmt.Println(report.Uploaded, report.TotalBytes(), report.Energy.Total())
+//
+// The comparison schemes of the paper's evaluation — Direct Upload,
+// SmartEye, MRC and BEES-EA — implement the same Scheme interface, and
+// the sim runners (RunLifetime, RunCoverage) replay the paper's
+// battery-lifetime and coverage experiments. cmd/beesbench regenerates
+// every table and figure; cmd/beesd and cmd/beesctl run the prototype
+// over real TCP.
+//
+// Everything is deterministic given the seeds, uses only the standard
+// library, and substitutes synthetic equivalents for the paper's
+// proprietary datasets and hardware (see DESIGN.md).
+package bees

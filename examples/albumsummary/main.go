@@ -1,0 +1,57 @@
+// Album summary: SSMM (the similarity-aware submodular maximization
+// model) as a standalone album summarizer. A simulated burst-heavy album
+// of 30 photos covering 8 distinct scenes is reduced to one
+// representative per scene — adaptively, without the user choosing a
+// summary size.
+//
+//	go run ./examples/albumsummary
+package main
+
+import (
+	"fmt"
+
+	"bees"
+)
+
+func main() {
+	// Build an album: 8 scenes, photographed 1–8 times each (burst
+	// shooting and retakes), shuffled into upload order.
+	album := bees.NewDisasterBatch(11, 30, 22, 0)
+
+	fmt.Printf("album: %d photos\n\n", len(album.Batch))
+
+	selected, clusters := bees.SummarizeBatch(album.Batch, 1.0)
+
+	fmt.Printf("SSMM found %d similarity clusters:\n", len(clusters))
+	for i, c := range clusters {
+		fmt.Printf("  cluster %d: photos %v", i, c)
+		if len(c) > 1 {
+			fmt.Printf("  (%d near-duplicates)", len(c)-1)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("\nsummary keeps %d photos (budget = cluster count, adaptive):\n  ", len(selected))
+	for _, img := range selected {
+		fmt.Printf("#%d ", img.ID)
+	}
+	fmt.Println()
+
+	// Verify the summary covers every cluster (the diversity term).
+	indexOf := map[int64]int{}
+	for i, img := range album.Batch {
+		indexOf[img.ID] = i
+	}
+	covered := map[int]bool{}
+	for _, img := range selected {
+		for ci, c := range clusters {
+			for _, member := range c {
+				if member == indexOf[img.ID] {
+					covered[ci] = true
+				}
+			}
+		}
+	}
+	fmt.Printf("\nclusters covered by the summary: %d/%d\n", len(covered), len(clusters))
+	fmt.Println("(coverage + diversity objective, greedy with the (1−1/e) guarantee)")
+}

@@ -1,0 +1,138 @@
+// Coverage map: a fleet of phones shares geotagged images from a
+// Paris-like city until every battery dies, once with Direct Upload and
+// once with BEES. The example renders ASCII density maps of the
+// locations the server ends up covering — the paper's Fig. 12.
+//
+//	go run ./examples/coveragemap
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"bees"
+)
+
+const (
+	gridW = 60
+	gridH = 18
+)
+
+func main() {
+	cfg := bees.CoverageConfig{
+		Seed:       42,
+		Phones:     5,
+		PerGroup:   8,
+		Images:     800,
+		Locations:  280,
+		Interval:   4 * time.Minute,
+		BitrateBps: 256_000,
+		BatteryJ:   3000,
+	}
+
+	fmt.Printf("fleet: %d phones, %d geotagged images at %d locations, batteries %0.f J\n\n",
+		cfg.Phones, cfg.Images, cfg.Locations, cfg.BatteryJ)
+
+	for _, scheme := range []bees.Scheme{bees.NewDirect(), bees.New()} {
+		srv := bees.NewServer()
+		res := runFleet(scheme, srv, cfg)
+		fmt.Printf("--- %s: %d images uploaded, %d/%d unique locations covered ---\n",
+			res.Scheme, res.Uploaded, res.UniqueLocations, res.TotalLocations)
+		printMap(srv)
+		fmt.Println()
+	}
+}
+
+// runFleet is bees.RunCoverage, but keeps the server so the map can be
+// drawn from the uploaded geotags.
+func runFleet(scheme bees.Scheme, srv *bees.Server, cfg bees.CoverageConfig) bees.CoverageResult {
+	paris := bees.NewParis(cfg.Seed, cfg.Images, cfg.Locations)
+	perPhone := (len(paris.Images) + cfg.Phones - 1) / cfg.Phones
+	type phone struct {
+		dev  *bees.Device
+		imgs []*bees.Image
+		next int
+	}
+	var phones []*phone
+	for p := 0; p < cfg.Phones; p++ {
+		lo := p * perPhone
+		if lo >= len(paris.Images) {
+			break
+		}
+		hi := min(lo+perPhone, len(paris.Images))
+		phones = append(phones, &phone{
+			dev:  bees.NewDevice(bees.WithBatteryJ(cfg.BatteryJ), bees.WithBitrate(cfg.BitrateBps)),
+			imgs: paris.Images[lo:hi],
+		})
+	}
+	for alive := true; alive; {
+		alive = false
+		for _, ph := range phones {
+			if ph.dev.Battery.Empty() || ph.next >= len(ph.imgs) {
+				continue
+			}
+			alive = true
+			hi := min(ph.next+cfg.PerGroup, len(ph.imgs))
+			start := ph.dev.Clock.Now()
+			scheme.ProcessBatch(ph.dev, srv, ph.imgs[ph.next:hi])
+			ph.next = hi
+			if spent := ph.dev.Clock.Now() - start; spent < cfg.Interval {
+				ph.dev.Idle(cfg.Interval - spent)
+			}
+		}
+	}
+	metas := srv.UploadedMetas()
+	seen := map[[2]float64]bool{}
+	for _, m := range metas {
+		seen[[2]float64{m.Lat, m.Lon}] = true
+	}
+	allSeen := map[[2]float64]bool{}
+	for _, img := range paris.Images {
+		allSeen[[2]float64{img.Lat, img.Lon}] = true
+	}
+	return bees.CoverageResult{
+		Scheme:          scheme.Name(),
+		TotalImages:     len(paris.Images),
+		TotalLocations:  len(allSeen),
+		Uploaded:        len(metas),
+		UniqueLocations: len(seen),
+	}
+}
+
+// printMap bins the uploaded geotags into a gridW×gridH density map over
+// the Paris bounding box (lon 2.31–2.34 E, lat 48.855–48.872 N).
+func printMap(srv *bees.Server) {
+	const (
+		lonMin, lonMax = 2.31, 2.34
+		latMin, latMax = 48.855, 48.872
+	)
+	grid := make([]int, gridW*gridH)
+	for _, m := range srv.UploadedMetas() {
+		x := int((m.Lon - lonMin) / (lonMax - lonMin) * (gridW - 1))
+		y := int((latMax - m.Lat) / (latMax - latMin) * (gridH - 1))
+		if x >= 0 && x < gridW && y >= 0 && y < gridH {
+			grid[y*gridW+x]++
+		}
+	}
+	ramp := []byte(" .:*#@")
+	for y := 0; y < gridH; y++ {
+		line := make([]byte, gridW)
+		for x := 0; x < gridW; x++ {
+			n := grid[y*gridW+x]
+			idx := 0
+			for v := n; v > 0 && idx < len(ramp)-1; v >>= 1 {
+				idx++
+			}
+			line[x] = ramp[idx]
+		}
+		fmt.Printf("  |%s|\n", line)
+	}
+	fmt.Println("   (darker = more uploaded images at that location)")
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

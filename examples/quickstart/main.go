@@ -1,0 +1,52 @@
+// Quickstart: push one disaster image batch through BEES and through
+// Direct Upload and compare bandwidth, energy and delay.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"bees"
+)
+
+func main() {
+	// A batch of 100 images: 10 are near-duplicate shots of other batch
+	// members (in-batch redundancy), and 50 have high-similarity twins
+	// already on the server (cross-batch redundancy).
+	const (
+		seed       = 7
+		batchSize  = 100
+		inBatchDup = 10
+		crossRatio = 0.5
+	)
+
+	run := func(scheme bees.Scheme) bees.BatchReport {
+		batch := bees.NewDisasterBatch(seed, batchSize, inBatchDup, crossRatio)
+		srv := bees.NewServer()
+		bees.SeedServer(srv, batch) // make the cross-batch twins known
+		dev := bees.NewDevice(bees.WithBitrate(256_000))
+		return scheme.ProcessBatch(dev, srv, batch.Batch)
+	}
+
+	direct := run(bees.NewDirect())
+	smart := run(bees.New())
+
+	fmt.Println("one batch, 100 images, 50% cross-batch redundancy, 10 in-batch duplicates")
+	fmt.Println()
+	print := func(r bees.BatchReport) {
+		fmt.Printf("%-14s uploaded %3d/%d images  %6.1f MB  %7.1f J  %5.1fs/image\n",
+			r.Scheme, r.Uploaded, r.Total,
+			float64(r.TotalBytes())/(1<<20), r.Energy.Total(),
+			r.AvgDelayPerImage().Seconds())
+	}
+	print(direct)
+	print(smart)
+	fmt.Println()
+	fmt.Printf("BEES eliminated %d cross-batch + %d in-batch redundant images and saved\n",
+		smart.CrossEliminated, smart.InBatchEliminated)
+	fmt.Printf("%.0f%% bandwidth, %.0f%% energy and %.0f%% delay versus Direct Upload.\n",
+		100*(1-float64(smart.TotalBytes())/float64(direct.TotalBytes())),
+		100*(1-smart.Energy.Total()/direct.Energy.Total()),
+		100*(1-float64(smart.Delay)/float64(direct.Delay)))
+}

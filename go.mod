@@ -1,0 +1,3 @@
+module bees
+
+go 1.22

@@ -1,0 +1,268 @@
+package baseline
+
+import (
+	"testing"
+
+	"bees/internal/core"
+	"bees/internal/dataset"
+	"bees/internal/energy"
+	"bees/internal/features"
+	"bees/internal/netsim"
+	"bees/internal/server"
+)
+
+func newDevice() *core.Device {
+	return core.NewDevice(nil, netsim.NewLink(256000), energy.DefaultModel())
+}
+
+func seedServer(srv *server.Server, d *dataset.DisasterBatch) {
+	cfg := features.DefaultConfig()
+	for _, tw := range d.ServerTwins {
+		srv.SeedIndex(features.ExtractORB(tw.Render(), cfg), server.UploadMeta{GroupID: tw.GroupID})
+		tw.Free()
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	tests := []struct {
+		s    core.Scheme
+		want string
+	}{
+		{Direct{}, "Direct Upload"},
+		{NewSmartEye(), "SmartEye"},
+		{NewMRC(), "MRC"},
+		{NewBEES(), "BEES"},
+		{NewBEESEA(), "BEES-EA"},
+	}
+	for _, tc := range tests {
+		if got := tc.s.Name(); got != tc.want {
+			t.Errorf("Name = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestDirectUploadsEverything(t *testing.T) {
+	d := dataset.NewDisasterBatch(200, 20, 4, 0.5)
+	srv := server.NewDefault()
+	seedServer(srv, d)
+	r := Direct{}.ProcessBatch(newDevice(), srv, d.Batch)
+	if r.Uploaded != 20 || r.CrossEliminated != 0 || r.InBatchEliminated != 0 {
+		t.Fatalf("Direct must upload everything: %+v", r)
+	}
+	if r.FeatureBytes != 0 {
+		t.Fatal("Direct must not upload features")
+	}
+	if r.Energy.Get(energy.CatExtract) != 0 {
+		t.Fatal("Direct must not extract features")
+	}
+	// Full-size uploads: ~700 KB per image.
+	if avg := r.ImageBytes / r.Uploaded; avg < 650*1024 || avg > 750*1024 {
+		t.Fatalf("Direct average image size = %d, want ~700KB", avg)
+	}
+}
+
+func TestSmartEyeEliminatesCrossBatchOnly(t *testing.T) {
+	d := dataset.NewDisasterBatch(201, 30, 5, 0.5)
+	srv := server.NewDefault()
+	seedServer(srv, d)
+	r := NewSmartEye().ProcessBatch(newDevice(), srv, d.Batch)
+	if r.InBatchEliminated != 0 {
+		t.Fatal("SmartEye must not eliminate in-batch redundancy")
+	}
+	if r.CrossEliminated < 10 || r.CrossEliminated > 20 {
+		t.Fatalf("SmartEye cross-eliminated = %d, want ~15", r.CrossEliminated)
+	}
+	if r.FeatureBytes == 0 {
+		t.Fatal("SmartEye must upload features")
+	}
+	// PCA-SIFT features: 144 bytes per descriptor.
+	if r.FeatureBytes < 30*144*30 {
+		t.Fatalf("feature bytes = %d, implausibly small for PCA-SIFT", r.FeatureBytes)
+	}
+}
+
+func TestMRCUsesThumbnails(t *testing.T) {
+	d := dataset.NewDisasterBatch(202, 15, 0, 0)
+	r := NewMRC().ProcessBatch(newDevice(), server.NewDefault(), d.Batch)
+	if r.FeedbackBytes == 0 {
+		t.Fatal("MRC must exchange thumbnails")
+	}
+	if r.FeatureBytes == 0 {
+		t.Fatal("MRC must upload ORB features")
+	}
+	// ORB features are far smaller than PCA-SIFT for the same batch.
+	se := NewSmartEye().ProcessBatch(newDevice(), server.NewDefault(),
+		dataset.NewDisasterBatch(202, 15, 0, 0).Batch)
+	if r.FeatureBytes >= se.FeatureBytes {
+		t.Fatalf("MRC features (%d) should be far below SmartEye's (%d)",
+			r.FeatureBytes, se.FeatureBytes)
+	}
+}
+
+func TestMRCBandwidthSlightlyAboveSmartEye(t *testing.T) {
+	// Fig. 10: "MRC consumes a little more bandwidth overhead than
+	// SmartEye due to requiring thumbnail feedback."
+	mk := func(s core.Scheme) core.BatchReport {
+		d := dataset.NewDisasterBatch(203, 20, 0, 0.5)
+		srv := server.NewDefault()
+		seedServer(srv, d)
+		return s.ProcessBatch(newDevice(), srv, d.Batch)
+	}
+	se := mk(NewSmartEye())
+	mrc := mk(NewMRC())
+	if mrc.TotalBytes() <= se.TotalBytes() {
+		t.Fatalf("MRC bytes %d should exceed SmartEye's %d", mrc.TotalBytes(), se.TotalBytes())
+	}
+	if float64(mrc.TotalBytes()) > 1.5*float64(se.TotalBytes()) {
+		t.Fatalf("MRC bytes %d should only slightly exceed SmartEye's %d", mrc.TotalBytes(), se.TotalBytes())
+	}
+}
+
+// TestFig7EnergyOrdering asserts the paper's headline energy result at
+// 25% cross-batch redundancy with 10% in-batch duplicates:
+// BEES ≪ MRC < SmartEye, and BEES far below Direct.
+func TestFig7EnergyOrdering(t *testing.T) {
+	schemes := []core.Scheme{Direct{}, NewSmartEye(), NewMRC(), NewBEES()}
+	totals := map[string]float64{}
+	for _, s := range schemes {
+		d := dataset.NewDisasterBatch(204, 40, 4, 0.25)
+		srv := server.NewDefault()
+		seedServer(srv, d)
+		r := s.ProcessBatch(newDevice(), srv, d.Batch)
+		totals[s.Name()] = r.Energy.Total()
+	}
+	if totals["SmartEye"] <= totals["MRC"] {
+		t.Fatalf("SmartEye (%.0f J) must cost more than MRC (%.0f J)",
+			totals["SmartEye"], totals["MRC"])
+	}
+	if totals["BEES"] >= totals["MRC"]*0.5 {
+		t.Fatalf("BEES (%.0f J) should be well below MRC (%.0f J)",
+			totals["BEES"], totals["MRC"])
+	}
+	if totals["BEES"] >= totals["Direct Upload"]*0.5 {
+		t.Fatalf("BEES (%.0f J) should be well below Direct (%.0f J)",
+			totals["BEES"], totals["Direct Upload"])
+	}
+}
+
+// TestFig7WorstCaseNoRedundancy asserts the zero-redundancy behaviour:
+// SmartEye and MRC cost more energy than Direct, BEES still saves.
+func TestFig7WorstCaseNoRedundancy(t *testing.T) {
+	schemes := []core.Scheme{Direct{}, NewSmartEye(), NewMRC(), NewBEES()}
+	totals := map[string]float64{}
+	for _, s := range schemes {
+		d := dataset.NewDisasterBatch(205, 40, 4, 0)
+		r := s.ProcessBatch(newDevice(), server.NewDefault(), d.Batch)
+		totals[s.Name()] = r.Energy.Total()
+	}
+	direct := totals["Direct Upload"]
+	if totals["SmartEye"] <= direct {
+		t.Fatalf("at 0%% redundancy SmartEye (%.0f) must exceed Direct (%.0f)",
+			totals["SmartEye"], direct)
+	}
+	if totals["MRC"] <= direct {
+		t.Fatalf("at 0%% redundancy MRC (%.0f) must exceed Direct (%.0f)",
+			totals["MRC"], direct)
+	}
+	if totals["BEES"] >= direct*0.45 {
+		t.Fatalf("BEES (%.0f) should save >55%% vs Direct (%.0f) even with no cross redundancy",
+			totals["BEES"], direct)
+	}
+}
+
+func TestFig11DelayOrdering(t *testing.T) {
+	// Direct has the highest delay; BEES the lowest; SmartEye above MRC
+	// (PCA-SIFT extraction is slow).
+	delays := map[string]float64{}
+	for _, s := range []core.Scheme{Direct{}, NewSmartEye(), NewMRC(), NewBEES()} {
+		d := dataset.NewDisasterBatch(206, 30, 3, 0.5)
+		srv := server.NewDefault()
+		seedServer(srv, d)
+		r := s.ProcessBatch(newDevice(), srv, d.Batch)
+		delays[s.Name()] = r.AvgDelayPerImage().Seconds()
+	}
+	if delays["Direct Upload"] <= delays["SmartEye"] ||
+		delays["SmartEye"] <= delays["MRC"] ||
+		delays["MRC"] <= delays["BEES"] {
+		t.Fatalf("delay ordering violated: %+v", delays)
+	}
+}
+
+func TestBEESEAIgnoresBatteryLevel(t *testing.T) {
+	mk := func(s core.Scheme, ebat float64) int {
+		d := dataset.NewDisasterBatch(207, 10, 0, 0)
+		dev := newDevice()
+		dev.Battery.SetEbat(ebat)
+		return s.ProcessBatch(dev, server.NewDefault(), d.Batch).ImageBytes
+	}
+	if mk(NewBEESEA(), 1.0) != mk(NewBEESEA(), 0.1) {
+		t.Fatal("BEES-EA must not adapt to battery level")
+	}
+	if mk(NewBEES(), 1.0) <= mk(NewBEES(), 0.1) {
+		t.Fatal("BEES must upload fewer bytes at low battery")
+	}
+}
+
+func TestEmptyBatches(t *testing.T) {
+	for _, s := range []core.Scheme{Direct{}, NewSmartEye(), NewMRC()} {
+		r := s.ProcessBatch(newDevice(), server.NewDefault(), nil)
+		if r.Total != 0 || r.Uploaded != 0 {
+			t.Fatalf("%s empty batch: %+v", s.Name(), r)
+		}
+	}
+}
+
+func TestZeroValueConfigsRepaired(t *testing.T) {
+	d := dataset.NewDisasterBatch(208, 5, 0, 0)
+	r := SmartEye{}.ProcessBatch(newDevice(), server.NewDefault(), d.Batch)
+	if r.Uploaded != 5 {
+		t.Fatalf("zero-value SmartEye broken: %+v", r)
+	}
+	d = dataset.NewDisasterBatch(209, 5, 0, 0)
+	r = MRC{}.ProcessBatch(newDevice(), server.NewDefault(), d.Batch)
+	if r.Uploaded != 5 || r.FeedbackBytes == 0 {
+		t.Fatalf("zero-value MRC broken: %+v", r)
+	}
+}
+
+func TestPhotoNetEliminatesColocatedSimilar(t *testing.T) {
+	d := dataset.NewDisasterBatch(210, 30, 6, 0)
+	srv := server.NewDefault()
+	r := NewPhotoNet().ProcessBatch(newDevice(), srv, d.Batch)
+	if r.Scheme != "PhotoNet" {
+		t.Fatalf("scheme = %q", r.Scheme)
+	}
+	if r.Uploaded+r.CrossEliminated != 30 {
+		t.Fatalf("counts do not add up: %+v", r)
+	}
+	if r.FeatureBytes == 0 {
+		t.Fatal("PhotoNet must upload metadata")
+	}
+	// Metadata is far cheaper than any descriptor upload.
+	if r.FeatureBytes > 30*(256+16+64) {
+		t.Fatalf("metadata bytes = %d, too large", r.FeatureBytes)
+	}
+}
+
+func TestPhotoNetZeroValueRepaired(t *testing.T) {
+	d := dataset.NewDisasterBatch(211, 6, 0, 0)
+	r := PhotoNet{}.ProcessBatch(newDevice(), server.NewDefault(), d.Batch)
+	if r.Total != 6 {
+		t.Fatalf("zero-value PhotoNet broken: %+v", r)
+	}
+}
+
+func TestPhotoNetWithoutMetadataServer(t *testing.T) {
+	// A server that lacks QueryNearby must degrade to no elimination.
+	d := dataset.NewDisasterBatch(212, 8, 2, 0)
+	r := NewPhotoNet().ProcessBatch(newDevice(), plainServer{server.NewDefault()}, d.Batch)
+	if r.CrossEliminated != 0 || r.Uploaded != 8 {
+		t.Fatalf("non-metadata server should disable elimination: %+v", r)
+	}
+}
+
+// plainServer hides the metadata query to exercise the degradation path.
+type plainServer struct{ *server.Server }
+
+func (p plainServer) QueryNearby(lat, lon, radiusDeg float64, g features.GlobalDescriptor) {
+}

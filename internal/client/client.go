@@ -1,0 +1,105 @@
+// Package client implements the network client of the BEES prototype: a
+// thin RPC wrapper over the wire protocol used by cmd/beesctl and by the
+// prototype integration tests. Simulations bypass it and call the server
+// in-process.
+package client
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"bees/internal/features"
+	"bees/internal/wire"
+)
+
+// Client is a connection to a beesd server. Methods are safe for
+// concurrent use; requests serialize over the single connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to a beesd server.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// roundTrip writes one frame and reads one response frame.
+func (c *Client) roundTrip(req any) (any, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := wire.WriteFrame(c.conn, req); err != nil {
+		return nil, err
+	}
+	resp, err := wire.ReadFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if e, ok := resp.(*wire.ErrorResponse); ok {
+		return nil, fmt.Errorf("client: server error: %s", e.Message)
+	}
+	return resp, nil
+}
+
+// QueryMax returns the server's maximum stored similarity for each
+// feature set, in order.
+func (c *Client) QueryMax(sets []*features.BinarySet) ([]float64, error) {
+	resp, err := c.roundTrip(&wire.QueryRequest{Sets: sets})
+	if err != nil {
+		return nil, err
+	}
+	qr, ok := resp.(*wire.QueryResponse)
+	if !ok {
+		return nil, fmt.Errorf("client: unexpected response %T", resp)
+	}
+	if len(qr.MaxSims) != len(sets) {
+		return nil, fmt.Errorf("client: got %d similarities for %d sets", len(qr.MaxSims), len(sets))
+	}
+	return qr.MaxSims, nil
+}
+
+// Upload sends one image (features + payload) and returns the assigned
+// server-side image ID.
+func (c *Client) Upload(set *features.BinarySet, groupID int64, lat, lon float64, blob []byte) (int64, error) {
+	resp, err := c.roundTrip(&wire.UploadRequest{
+		Set:     set,
+		GroupID: groupID,
+		Lat:     lat,
+		Lon:     lon,
+		Blob:    blob,
+	})
+	if err != nil {
+		return 0, err
+	}
+	ur, ok := resp.(*wire.UploadResponse)
+	if !ok {
+		return 0, fmt.Errorf("client: unexpected response %T", resp)
+	}
+	return ur.ID, nil
+}
+
+// Stats fetches the server's upload counters.
+func (c *Client) Stats() (images, bytes int64, err error) {
+	resp, err := c.roundTrip(&wire.StatsRequest{})
+	if err != nil {
+		return 0, 0, err
+	}
+	sr, ok := resp.(*wire.StatsResponse)
+	if !ok {
+		return 0, 0, fmt.Errorf("client: unexpected response %T", resp)
+	}
+	return sr.Images, sr.BytesReceived, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}

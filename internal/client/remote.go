@@ -1,0 +1,51 @@
+package client
+
+import (
+	"log"
+
+	"bees/internal/features"
+	"bees/internal/index"
+	"bees/internal/server"
+)
+
+// RemoteServer adapts a Client to core.ServerAPI so the full BEES
+// pipeline (and every baseline) can run against a beesd server over TCP
+// exactly as it runs against an in-process server. Network errors are
+// survivable in a disaster scenario, so they degrade rather than abort:
+// failed queries report similarity 0 (image treated as unique) and
+// failed uploads return -1; Err exposes the last failure.
+type RemoteServer struct {
+	c       *Client
+	lastErr error
+}
+
+// NewRemoteServer wraps a connected client.
+func NewRemoteServer(c *Client) *RemoteServer { return &RemoteServer{c: c} }
+
+// QueryMax implements core.ServerAPI over the wire.
+func (r *RemoteServer) QueryMax(set *features.BinarySet) float64 {
+	sims, err := r.c.QueryMax([]*features.BinarySet{set})
+	if err != nil {
+		r.lastErr = err
+		log.Printf("beesctl: query failed, treating image as unique: %v", err)
+		return 0
+	}
+	return sims[0]
+}
+
+// Upload implements core.ServerAPI over the wire. The blob is a payload
+// of exactly meta.Bytes bytes so the transport carries the real
+// (compressed) image size.
+func (r *RemoteServer) Upload(set *features.BinarySet, meta server.UploadMeta) index.ImageID {
+	blob := make([]byte, meta.Bytes)
+	id, err := r.c.Upload(set, meta.GroupID, meta.Lat, meta.Lon, blob)
+	if err != nil {
+		r.lastErr = err
+		log.Printf("beesctl: upload failed: %v", err)
+		return -1
+	}
+	return index.ImageID(id)
+}
+
+// Err returns the last transport error, if any.
+func (r *RemoteServer) Err() error { return r.lastErr }

@@ -1,0 +1,102 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"bees/internal/baseline"
+	"bees/internal/core"
+	"bees/internal/dataset"
+	"bees/internal/energy"
+	"bees/internal/netsim"
+	"bees/internal/server"
+)
+
+// TestPipelineOverTCP runs the complete BEES pipeline against a real TCP
+// server through the RemoteServer adapter and checks the outcome matches
+// an in-process run of the same workload.
+func TestPipelineOverTCP(t *testing.T) {
+	srv, addr := startServer(t)
+	c := dial(t, addr)
+	remote := NewRemoteServer(c)
+
+	newDev := func() *core.Device {
+		return core.NewDevice(nil, netsim.NewLink(256000), energy.DefaultModel())
+	}
+	scheme := baseline.NewBEES()
+
+	d := dataset.NewDisasterBatch(700, 20, 4, 0)
+	rRemote := scheme.ProcessBatch(newDev(), remote, d.Batch)
+	if err := remote.Err(); err != nil {
+		t.Fatalf("transport errors: %v", err)
+	}
+
+	dLocal := dataset.NewDisasterBatch(700, 20, 4, 0)
+	rLocal := scheme.ProcessBatch(newDev(), server.NewDefault(), dLocal.Batch)
+
+	if rRemote.Uploaded != rLocal.Uploaded ||
+		rRemote.CrossEliminated != rLocal.CrossEliminated ||
+		rRemote.InBatchEliminated != rLocal.InBatchEliminated {
+		t.Fatalf("remote run diverged from local: remote=%+v local=%+v", rRemote, rLocal)
+	}
+	st := srv.Stats()
+	if st.Images != rRemote.Uploaded {
+		t.Fatalf("server stored %d, report says %d", st.Images, rRemote.Uploaded)
+	}
+	// The blob bytes crossing the wire are the compressed image sizes.
+	if st.BytesReceived != int64(rRemote.ImageBytes) {
+		t.Fatalf("server received %d bytes, report says %d", st.BytesReceived, rRemote.ImageBytes)
+	}
+}
+
+// TestSecondBatchCrossBatchOverTCP checks that a replayed batch is
+// eliminated as cross-batch redundancy by the remote index.
+func TestSecondBatchCrossBatchOverTCP(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+	remote := NewRemoteServer(c)
+	dev := core.NewDevice(nil, netsim.NewLink(256000), energy.DefaultModel())
+	scheme := baseline.NewBEES()
+
+	first := dataset.NewDisasterBatch(701, 12, 0, 0)
+	r1 := scheme.ProcessBatch(dev, remote, first.Batch)
+	if r1.Uploaded == 0 {
+		t.Fatal("first batch uploaded nothing")
+	}
+	again := dataset.NewDisasterBatch(701, 12, 0, 0)
+	r2 := scheme.ProcessBatch(dev, remote, again.Batch)
+	if r2.CrossEliminated < 10 {
+		t.Fatalf("replayed batch only %d/12 eliminated", r2.CrossEliminated)
+	}
+	if err := remote.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRemoteServerDegradesOnFailure verifies the disaster-mode behaviour:
+// a dead connection yields similarity 0 and upload ID -1 instead of a
+// crash.
+func TestRemoteServerDegradesOnFailure(t *testing.T) {
+	srv := server.NewDefault()
+	tcp := server.NewTCP(srv)
+	bound, err := tcp.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(bound.String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp.Close()
+	remote := NewRemoteServer(c)
+	sets := testSets(t, 1)
+	if sim := remote.QueryMax(sets[0]); sim != 0 {
+		t.Fatalf("failed query returned %v", sim)
+	}
+	if id := remote.Upload(sets[0], server.UploadMeta{Bytes: 10}); id != -1 {
+		t.Fatalf("failed upload returned %v", id)
+	}
+	if remote.Err() == nil {
+		t.Fatal("Err should report the failure")
+	}
+}

@@ -1,0 +1,80 @@
+// Package core implements the paper's primary contribution: the BEES
+// client pipeline. A batch of images flows through Approximate Feature
+// Extraction (AFE, with the energy-aware adaptive compression scheme
+// EAC), Approximate Redundancy Detection (ARD = cross-batch detection
+// with the Energy Defined Redundancy threshold EDR + in-batch detection
+// with the similarity-aware submodular maximization model SSMM), and
+// Approximate Image Uploading (AIU, with the energy-aware adaptive
+// uploading scheme EAU). Package baseline implements the comparison
+// schemes against the same Device/Server interfaces.
+package core
+
+import (
+	"time"
+
+	"bees/internal/energy"
+	"bees/internal/netsim"
+)
+
+// Device models the smartphone every scheme runs on: a battery, a shaped
+// uplink, a virtual clock, the energy cost model and a cumulative meter.
+type Device struct {
+	Battery *energy.Battery
+	Link    *netsim.Link
+	Clock   *netsim.Clock
+	Model   energy.CostModel
+	Meter   *energy.Meter
+}
+
+// NewDevice assembles a device; nil battery/clock/meter default to a full
+// default battery, a fresh clock and a fresh meter.
+func NewDevice(battery *energy.Battery, link *netsim.Link, model energy.CostModel) *Device {
+	if battery == nil {
+		battery = energy.NewDefaultBattery()
+	}
+	if link == nil {
+		link = netsim.NewLink(256000)
+	}
+	return &Device{
+		Battery: battery,
+		Link:    link,
+		Clock:   &netsim.Clock{},
+		Model:   model,
+		Meter:   &energy.Meter{},
+	}
+}
+
+// Transmit uploads bytes over the link: drains radio energy, advances the
+// clock, and returns the airtime.
+func (d *Device) Transmit(bytes int, cat energy.Category) time.Duration {
+	dur, rate := d.Link.TransferTime(bytes)
+	d.Battery.Drain(d.Meter.Add(cat, d.Model.TxEnergy(bytes, rate)))
+	d.Clock.Advance(dur)
+	return dur
+}
+
+// Receive downloads bytes over the link: drains radio energy, advances
+// the clock, and returns the airtime.
+func (d *Device) Receive(bytes int, cat energy.Category) time.Duration {
+	dur, rate := d.Link.TransferTime(bytes)
+	d.Battery.Drain(d.Meter.Add(cat, d.Model.RxEnergy(bytes, rate)))
+	d.Clock.Advance(dur)
+	return dur
+}
+
+// Compute spends CPU energy: drains the battery, advances the clock by
+// the equivalent compute time, and returns that time.
+func (d *Device) Compute(joules float64, cat energy.Category) time.Duration {
+	d.Battery.Drain(d.Meter.Add(cat, joules))
+	dur := time.Duration(joules / d.Model.CPUPowerW * float64(time.Second))
+	d.Clock.Advance(dur)
+	return dur
+}
+
+// Idle drains screen/idle power for the duration and advances the clock.
+// The battery-lifetime experiments call this for the 20-minute gaps
+// between group uploads ("the screen is always bright").
+func (d *Device) Idle(dur time.Duration) {
+	d.Battery.Drain(d.Meter.Add(energy.CatScreen, d.Model.ScreenEnergy(dur)))
+	d.Clock.Advance(dur)
+}

@@ -1,0 +1,52 @@
+package core
+
+// The three energy-aware adaptive schemes (EAAS). Each maps the remaining
+// battery fraction Ebat ∈ [0, 1] to a knob of one approximate stage,
+// using exactly the linear functions the paper fits to its measurements.
+
+// EAC (energy-aware adaptive compression, Section III-A) returns the AFE
+// bitmap compression proportion: C = 0.4 − 0.4·Ebat. At full battery the
+// bitmap is uncompressed; at empty battery C approaches 0.4, which the
+// paper's Fig. 3 shows still preserves >90% detection precision while
+// saving ~40% extraction energy.
+func EAC(ebat float64) float64 {
+	return clamp(0.4-0.4*clamp(ebat, 0, 1), 0, 0.4)
+}
+
+// EDR (energy defined redundancy, Section III-B1) returns the similarity
+// threshold above which a queried image counts as redundant:
+// T = 0.013 + k·Ebat with k = 0.006. 0.013 is the floor that keeps the
+// false-positive rate at or below ~10%; with more energy available the
+// threshold rises, so only higher-similarity images are eliminated.
+func EDR(ebat float64) float64 {
+	return 0.013 + 0.006*clamp(ebat, 0, 1)
+}
+
+// SSMMThreshold returns Tw, the edge-cut threshold of the in-batch graph
+// partition. The paper sets it to the same function as EDR.
+func SSMMThreshold(ebat float64) float64 { return EDR(ebat) }
+
+// EAU (energy-aware adaptive uploading, Section III-C) returns the AIU
+// resolution compression proportion: Cr = 0.8 − 0.8·Ebat. At full battery
+// images upload at full resolution; near-empty batteries upload at about
+// a fifth of the linear resolution (e.g. 2448×3264 → 588×783), cutting
+// ~87% of the file size.
+func EAU(ebat float64) float64 {
+	return clamp(0.8-0.8*clamp(ebat, 0, 1), 0, 0.8)
+}
+
+// QualityProportion is AIU's fixed quality-compression proportion. The
+// paper compresses quality at 0.85 for every upload: beyond that point
+// Fig. 5(a) shows image quality collapsing, before it the bandwidth
+// saving is substantial at slight SSIM loss.
+const QualityProportion = 0.85
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

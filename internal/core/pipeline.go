@@ -1,0 +1,170 @@
+package core
+
+import (
+	"bees/internal/dataset"
+	"bees/internal/energy"
+	"bees/internal/features"
+	"bees/internal/imagelib"
+	"bees/internal/server"
+	"bees/internal/submod"
+)
+
+// Config controls the BEES pipeline.
+type Config struct {
+	// Adaptive enables the three energy-aware adaptive schemes. With it
+	// disabled the pipeline behaves as BEES-EA in the paper: every knob
+	// frozen at its Ebat = 100% setting.
+	Adaptive bool
+	// Extraction parameterizes the ORB extractor.
+	Extraction features.Config
+	// HammingMax is the descriptor-match radius of Equation 2.
+	HammingMax int
+	// GraphDescriptors caps the per-image descriptor count used for the
+	// in-batch pairwise graph (the strongest keypoints), bounding the
+	// O(n²) graph construction cost.
+	GraphDescriptors int
+	// SSMM configures the in-batch summarizer.
+	SSMM submod.Options
+	// QualityProportion is AIU's fixed quality-compression setting.
+	QualityProportion float64
+	// DisableInBatch turns IBRD off (ablation: cross-batch only, like
+	// SmartEye/MRC but with the rest of BEES intact).
+	DisableInBatch bool
+	// QueryResponseBytes models the per-image CBRD answer payload.
+	QueryResponseBytes int
+}
+
+// DefaultConfig returns the pipeline settings used in the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		Adaptive:           true,
+		Extraction:         features.DefaultConfig(),
+		HammingMax:         features.DefaultHammingMax,
+		GraphDescriptors:   100,
+		SSMM:               submod.DefaultOptions(),
+		QualityProportion:  QualityProportion,
+		QueryResponseBytes: 16,
+	}
+}
+
+// Pipeline is the BEES scheme.
+type Pipeline struct {
+	cfg Config
+}
+
+var _ Scheme = (*Pipeline)(nil)
+
+// New creates a BEES pipeline.
+func New(cfg Config) *Pipeline {
+	if cfg.HammingMax <= 0 {
+		cfg.HammingMax = features.DefaultHammingMax
+	}
+	if cfg.QualityProportion <= 0 {
+		cfg.QualityProportion = QualityProportion
+	}
+	if cfg.GraphDescriptors <= 0 {
+		cfg.GraphDescriptors = 100
+	}
+	if cfg.Extraction.MaxFeatures <= 0 {
+		cfg.Extraction = features.DefaultConfig()
+	}
+	return &Pipeline{cfg: cfg}
+}
+
+// Name implements Scheme.
+func (p *Pipeline) Name() string {
+	if !p.cfg.Adaptive {
+		return "BEES-EA"
+	}
+	return "BEES"
+}
+
+// ProcessBatch runs AFE → ARD (CBRD + IBRD) → AIU for one batch.
+func (p *Pipeline) ProcessBatch(dev *Device, srv ServerAPI, batch []*dataset.Image) BatchReport {
+	acct := BeginBatch(dev)
+	report := BatchReport{Scheme: p.Name(), Total: len(batch)}
+	if len(batch) == 0 {
+		acct.Finish(dev, &report)
+		return report
+	}
+
+	ebat := 1.0
+	if p.cfg.Adaptive {
+		ebat = dev.Battery.Ebat()
+	}
+
+	// --- AFE: extract ORB features from EAC-compressed bitmaps. -------
+	// Extraction runs on all host cores; the energy/delay accounting
+	// below charges the phone's per-image cost model regardless.
+	bitmapC := EAC(ebat)
+	sets := extractAll(batch, bitmapC, p.cfg.Extraction)
+	for range batch {
+		dev.Compute(dev.Model.ExtractEnergy(features.AlgORB, bitmapC), energy.CatExtract)
+	}
+
+	// Upload the features for the index queries (and later insertion).
+	for _, set := range sets {
+		report.FeatureBytes += set.Bytes()
+	}
+	dev.Transmit(report.FeatureBytes, energy.CatFeatureTx)
+
+	// --- ARD part 1: CBRD with the EDR threshold. ----------------------
+	threshold := EDR(ebat)
+	survivors := make([]int, 0, len(batch))
+	for i := range batch {
+		if srv.QueryMax(sets[i]) > threshold {
+			report.CrossEliminated++
+			continue
+		}
+		survivors = append(survivors, i)
+	}
+	respBytes := p.cfg.QueryResponseBytes * len(batch)
+	report.FeedbackBytes += respBytes
+	dev.Receive(respBytes, energy.CatRx)
+
+	// --- ARD part 2: IBRD via SSMM over the survivors. ------------------
+	selected := survivors
+	if !p.cfg.DisableInBatch && len(survivors) > 1 {
+		g := buildBatchGraph(sets, survivors, p.cfg.GraphDescriptors, p.cfg.HammingMax)
+		res := submod.Summarize(g, SSMMThreshold(ebat), p.cfg.SSMM)
+		selected = make([]int, 0, len(res.Selected))
+		for _, li := range res.Selected {
+			selected = append(selected, survivors[li])
+		}
+		report.InBatchEliminated = len(survivors) - len(selected)
+	}
+
+	// --- AIU: quality + EAU resolution compression, then upload. -------
+	resC := EAU(ebat)
+	for _, i := range selected {
+		img := batch[i]
+		raster := img.Render()
+		compressed := imagelib.CompressBitmap(raster, resC)
+		bytes := img.SizeModel().Bytes(compressed, p.cfg.QualityProportion)
+		dev.Compute(dev.Model.CompressEnergy(imagelib.PixelsAt(resC)), energy.CatCompress)
+		dev.Transmit(bytes, energy.CatImageTx)
+		srv.Upload(sets[i], server.UploadMeta{
+			GroupID: img.GroupID,
+			Lat:     img.Lat,
+			Lon:     img.Lon,
+			Bytes:   bytes,
+		})
+		report.ImageBytes += bytes
+		report.Uploaded++
+		img.Free()
+	}
+	for _, img := range batch {
+		img.Free()
+	}
+	acct.Finish(dev, &report)
+	return report
+}
+
+// capSet returns a view of the strongest n descriptors (extraction sorts
+// keypoints by corner score, so a prefix is the strongest subset).
+func capSet(s *features.BinarySet, n int) *features.BinarySet {
+	if s.Len() <= n {
+		return s
+	}
+	return &features.BinarySet{Descriptors: s.Descriptors[:n], Keypoints: s.Keypoints[:n]}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"time"
+
+	"bees/internal/dataset"
+	"bees/internal/energy"
+	"bees/internal/features"
+	"bees/internal/index"
+	"bees/internal/server"
+)
+
+// ServerAPI is the cloud-server surface a scheme needs: the CBRD
+// similarity query and the upload call. *server.Server implements it
+// in-process; client.RemoteServer implements it over TCP, so the same
+// pipeline drives both the simulations and the network prototype.
+type ServerAPI interface {
+	QueryMax(set *features.BinarySet) float64
+	Upload(set *features.BinarySet, meta server.UploadMeta) index.ImageID
+}
+
+var _ ServerAPI = (*server.Server)(nil)
+
+// BatchReport is what every scheme returns for one processed batch: the
+// elimination counts, the bytes that crossed the network, the energy
+// spent by category, and the accumulated delay.
+type BatchReport struct {
+	Scheme string
+	// Total is the batch size; Uploaded is how many images were sent.
+	Total    int
+	Uploaded int
+	// CrossEliminated images matched the server index (CBRD);
+	// InBatchEliminated images were dropped by SSMM (IBRD).
+	CrossEliminated   int
+	InBatchEliminated int
+	// FeatureBytes, ImageBytes and FeedbackBytes split the network cost;
+	// FeedbackBytes covers auxiliary exchanges (MRC's thumbnails, query
+	// responses).
+	FeatureBytes  int
+	ImageBytes    int
+	FeedbackBytes int
+	// Energy is the per-category energy of this batch only.
+	Energy energy.Meter
+	// Delay is the wall time the batch occupied the phone (extraction +
+	// feature upload + image upload), on the virtual clock.
+	Delay time.Duration
+	// EbatAfter is the battery fraction when the batch finished.
+	EbatAfter float64
+}
+
+// TotalBytes returns all bytes the batch pushed through the uplink.
+func (r BatchReport) TotalBytes() int {
+	return r.FeatureBytes + r.ImageBytes + r.FeedbackBytes
+}
+
+// AvgDelayPerImage returns Delay divided by the batch size, the metric
+// of Fig. 11.
+func (r BatchReport) AvgDelayPerImage() time.Duration {
+	if r.Total == 0 {
+		return 0
+	}
+	return r.Delay / time.Duration(r.Total)
+}
+
+// Scheme is the interface every image-sharing scheme implements; the
+// harness drives BEES and all baselines through it.
+type Scheme interface {
+	// Name identifies the scheme in reports ("BEES", "Direct Upload", …).
+	Name() string
+	// ProcessBatch pushes one image batch from the device to the server
+	// and reports what happened.
+	ProcessBatch(dev *Device, srv ServerAPI, batch []*dataset.Image) BatchReport
+}
+
+// BatchAccounting captures the meter and clock at batch start so the
+// report contains only this batch's deltas. Scheme implementations call
+// BeginBatch first and Finish last.
+type BatchAccounting struct {
+	meterBefore energy.Meter
+	clockBefore time.Duration
+}
+
+// BeginBatch snapshots the device counters.
+func BeginBatch(dev *Device) BatchAccounting {
+	return BatchAccounting{meterBefore: *dev.Meter, clockBefore: dev.Clock.Now()}
+}
+
+// Finish fills the report's energy, delay and battery fields from the
+// device counters accumulated since BeginBatch.
+func (a BatchAccounting) Finish(dev *Device, r *BatchReport) {
+	r.Energy = diffMeter(*dev.Meter, a.meterBefore)
+	r.Delay = dev.Clock.Now() - a.clockBefore
+	r.EbatAfter = dev.Battery.Ebat()
+}
+
+// diffMeter returns after − before per category.
+func diffMeter(after, before energy.Meter) energy.Meter {
+	var out energy.Meter
+	for c := energy.CatExtract; c <= energy.CatScreen; c++ {
+		out.Add(c, after.Get(c)-before.Get(c))
+	}
+	return out
+}

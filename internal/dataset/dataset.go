@@ -1,0 +1,335 @@
+// Package dataset generates the synthetic stand-ins for the paper's three
+// real-world imagesets (DESIGN.md, "Substitutions"):
+//
+//   - Kentucky-like: groups of 4 images of the same scene, used for
+//     precision and similarity-distribution experiments (Figs. 3, 4, 6).
+//   - Disaster-like: batches with controlled cross-batch and in-batch
+//     redundancy, used for the energy/bandwidth/delay experiments
+//     (Figs. 7, 8, 10, 11).
+//   - Paris-like: geotagged images with a heavy-tailed location
+//     popularity, used for the battery-lifetime and coverage experiments
+//     (Figs. 9, 12).
+//
+// Images carry their latent scene and render lazily, so large sets do not
+// hold every raster in memory at once.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bees/internal/imagelib"
+)
+
+// Image is one dataset image. The raster renders lazily and can be freed
+// after processing; rendering is deterministic, so a freed raster can be
+// re-rendered at any time.
+type Image struct {
+	ID      int64
+	GroupID int64 // scene identity: images with equal GroupID are "similar"
+	Lat     float64
+	Lon     float64
+
+	scene   *imagelib.Scene
+	pool    *imagelib.MotifPool
+	variant imagelib.Variant
+
+	raster *imagelib.Raster
+	size   imagelib.SizeModel
+	sized  bool
+}
+
+// Render returns the image raster, rendering and caching it on first use.
+func (im *Image) Render() *imagelib.Raster {
+	if im.raster == nil {
+		im.raster = im.scene.Render(im.pool, imagelib.DefaultW, imagelib.DefaultH, im.variant)
+	}
+	return im.raster
+}
+
+// SizeModel returns the per-image file-size anchor (700 KB at full
+// quality), computing and caching it on first use.
+func (im *Image) SizeModel() imagelib.SizeModel {
+	if !im.sized {
+		im.size = imagelib.NewSizeModel(im.Render())
+		im.sized = true
+	}
+	return im.size
+}
+
+// Free drops the cached raster (the size anchor is retained).
+func (im *Image) Free() { im.raster = nil }
+
+// VariantKind selects how far a derived image strays from its scene's
+// canonical render.
+type VariantKind int
+
+// Variant kinds.
+const (
+	// KindCanonical is the reference render of the scene.
+	KindCanonical VariantKind = iota + 1
+	// KindNearDup is a near-duplicate (burst shot): tiny shift, mild
+	// noise. Similarity stays far above every detection threshold —
+	// this models the paper's ">0.3 similarity" server-seeded twins.
+	KindNearDup
+	// KindRandom is a typical same-scene re-shoot with the hard-tail
+	// distribution of imagelib.RandomVariant (Kentucky-style).
+	KindRandom
+)
+
+// Builder incrementally constructs a dataset with globally unique image
+// and group IDs, deterministically from its seed.
+type Builder struct {
+	Pool   *imagelib.MotifPool
+	rng    *rand.Rand
+	nextID int64
+	scenes map[int64]*imagelib.Scene
+}
+
+// NewBuilder creates a builder. poolSize controls how often unrelated
+// scenes share motifs (smaller pool → more cross-scene similarity).
+func NewBuilder(seed int64, poolSize int) *Builder {
+	if poolSize <= 0 {
+		poolSize = 500
+	}
+	return &Builder{
+		Pool:   imagelib.NewMotifPool(seed, poolSize, 40),
+		rng:    rand.New(rand.NewSource(seed + 1)),
+		scenes: make(map[int64]*imagelib.Scene),
+	}
+}
+
+// NewScene creates a fresh scene and returns its group ID.
+func (b *Builder) NewScene() int64 {
+	id := b.nextID
+	b.nextID++
+	b.scenes[id] = imagelib.GenScene(b.Pool, b.rng)
+	return id
+}
+
+// Image derives an image of the given scene group.
+func (b *Builder) Image(group int64, kind VariantKind) *Image {
+	scene, ok := b.scenes[group]
+	if !ok {
+		panic(fmt.Sprintf("dataset: unknown scene group %d", group))
+	}
+	var v imagelib.Variant
+	switch kind {
+	case KindCanonical:
+		v = imagelib.CanonicalVariant()
+	case KindNearDup:
+		v = imagelib.Variant{
+			ShiftX:     b.rng.Intn(5) - 2,
+			ShiftY:     b.rng.Intn(5) - 2,
+			Brightness: (b.rng.Float64() - 0.5) * 10,
+			NoiseSigma: 1 + b.rng.Float64(),
+			Seed:       b.rng.Int63(),
+		}
+	case KindRandom:
+		v = imagelib.RandomVariant(b.rng)
+	default:
+		panic(fmt.Sprintf("dataset: unknown variant kind %d", kind))
+	}
+	id := b.nextID
+	b.nextID++
+	return &Image{ID: id, GroupID: group, scene: scene, pool: b.Pool, variant: v}
+}
+
+// Set is a collection of images sharing one builder.
+type Set struct {
+	Builder *Builder
+	Images  []*Image
+}
+
+// NewKentucky generates a Kentucky-style set: nGroups scenes with 4
+// images each (one canonical, three same-scene re-shoots). The real set
+// has 2,550 groups; experiments scale nGroups to their budget.
+func NewKentucky(seed int64, nGroups int) *Set {
+	// The small motif pool models the Kentucky set's same-category
+	// objects: unrelated images share textures often enough to reproduce
+	// the dissimilar-pair similarity tail of Fig. 4.
+	b := NewBuilder(seed, 100)
+	s := &Set{Builder: b, Images: make([]*Image, 0, nGroups*4)}
+	for g := 0; g < nGroups; g++ {
+		grp := b.NewScene()
+		s.Images = append(s.Images, b.Image(grp, KindCanonical))
+		for k := 0; k < 3; k++ {
+			s.Images = append(s.Images, b.Image(grp, KindRandom))
+		}
+	}
+	return s
+}
+
+// Group returns the images of a Kentucky group (4 consecutive images).
+func (s *Set) Group(g int) []*Image {
+	return s.Images[g*4 : g*4+4]
+}
+
+// DisasterBatch is one upload batch plus the server-side twin images that
+// create its cross-batch redundancy.
+type DisasterBatch struct {
+	Builder *Builder
+	// Batch is the phone-side image batch.
+	Batch []*Image
+	// ServerTwins are high-similarity (>0.3-style, KindNearDup) copies of
+	// the first len(ServerTwins) unique batch images; seeding the server
+	// index with them makes those batch images cross-batch redundant.
+	ServerTwins []*Image
+	// InBatchDup counts how many batch images are near-duplicates of
+	// other batch members (and have no server twin).
+	InBatchDup int
+}
+
+// NewDisasterBatch builds the paper's Section IV-B3 workload: a batch of
+// total images of which inBatchDup are near-duplicates of other batch
+// members, and a server-twin list covering crossRatio of the remaining
+// unique images. Section IV-B3 uses total=100, inBatchDup=10 and
+// crossRatio ∈ {0, 0.25, 0.5, 0.75}.
+func NewDisasterBatch(seed int64, total, inBatchDup int, crossRatio float64) *DisasterBatch {
+	if inBatchDup >= total {
+		panic("dataset: inBatchDup must be below total")
+	}
+	if crossRatio < 0 {
+		crossRatio = 0
+	}
+	if crossRatio > 1 {
+		crossRatio = 1
+	}
+	// Disaster batches photograph diverse, unrelated scenes; the large
+	// motif pool keeps cross-scene similarity near zero (unlike the
+	// Kentucky set, whose same-category objects share textures).
+	b := NewBuilder(seed, 4000)
+	geoRng := rand.New(rand.NewSource(seed + 3))
+	unique := total - inBatchDup
+	d := &DisasterBatch{Builder: b, InBatchDup: inBatchDup}
+	groups := make([]int64, 0, unique)
+	geoOf := make(map[int64][2]float64, unique)
+	// Every scene gets a geotag inside the Paris-like box; all shots of
+	// one scene share it (with tiny GPS jitter), which is what
+	// metadata-based schemes like PhotoNet key on.
+	var spots [][2]float64
+	geotag := func(img *Image) {
+		loc, ok := geoOf[img.GroupID]
+		if !ok {
+			// A third of new scenes are shot at an existing spot:
+			// different subjects photographed from the same place, the
+			// case that separates content-based from metadata-based
+			// redundancy detection.
+			if len(spots) > 0 && geoRng.Float64() < 0.33 {
+				loc = spots[geoRng.Intn(len(spots))]
+			} else {
+				loc = [2]float64{
+					ParisLatMin + geoRng.Float64()*(ParisLatMax-ParisLatMin),
+					ParisLonMin + geoRng.Float64()*(ParisLonMax-ParisLonMin),
+				}
+				spots = append(spots, loc)
+			}
+			geoOf[img.GroupID] = loc
+		}
+		img.Lat = loc[0] + (geoRng.Float64()-0.5)*1e-5
+		img.Lon = loc[1] + (geoRng.Float64()-0.5)*1e-5
+	}
+	for i := 0; i < unique; i++ {
+		grp := b.NewScene()
+		groups = append(groups, grp)
+		img := b.Image(grp, KindCanonical)
+		geotag(img)
+		d.Batch = append(d.Batch, img)
+	}
+	// In-batch duplicates are near-dup shots of the last unique scenes,
+	// which never get server twins (the paper keeps them server-unknown
+	// to isolate the benefit of in-batch elimination).
+	nTwins := int(crossRatio*float64(total) + 0.5)
+	dupScenes := inBatchDup
+	if dupScenes > unique {
+		dupScenes = unique
+	}
+	if nTwins > unique-dupScenes {
+		nTwins = unique - dupScenes
+	}
+	if nTwins < 0 {
+		nTwins = 0
+	}
+	for i := 0; i < inBatchDup; i++ {
+		// Duplicates target the last unique scenes, wrapping when there
+		// are more duplicates than scenes (burst shooting: several
+		// near-identical photos of one scene).
+		img := b.Image(groups[unique-1-i%unique], KindNearDup)
+		geotag(img)
+		d.Batch = append(d.Batch, img)
+	}
+	for i := 0; i < nTwins; i++ {
+		img := b.Image(groups[i], KindNearDup)
+		geotag(img)
+		d.ServerTwins = append(d.ServerTwins, img)
+	}
+	return d
+}
+
+// Paris-like geographic bounding box (the paper's test subset).
+const (
+	ParisLonMin = 2.31
+	ParisLonMax = 2.34
+	ParisLatMin = 48.855
+	ParisLatMax = 48.872
+)
+
+// ParisSet is the geotagged set for the coverage experiment.
+type ParisSet struct {
+	Builder *Builder
+	Images  []*Image
+	// Locations is the number of distinct geotags generated.
+	Locations int
+}
+
+// NewParis generates a Paris-style set: nLocations geotags whose
+// popularity follows a Zipf law (the paper's densest location holds 5,399
+// of 165,539 images ≈ 3.3%). Images at one location photograph a small
+// number of scenes, so popular locations are dominated by redundant
+// shots; sparse locations contribute unique scenes.
+func NewParis(seed int64, nImages, nLocations int) *ParisSet {
+	if nLocations <= 0 || nImages <= 0 {
+		panic("dataset: NewParis requires positive sizes")
+	}
+	b := NewBuilder(seed, 4000)
+	rng := rand.New(rand.NewSource(seed + 2))
+	// s = 1.07 keeps the head heavy (the paper's densest location holds
+	// 3.3% of all images) while leaving a long tail of sparse locations
+	// (the paper averages 2.8 images per location).
+	zipf := rand.NewZipf(rng, 1.07, 1, uint64(nLocations-1))
+	type loc struct {
+		lat, lon float64
+		groups   []int64
+	}
+	locs := make([]loc, nLocations)
+	for i := range locs {
+		locs[i] = loc{
+			lat: ParisLatMin + rng.Float64()*(ParisLatMax-ParisLatMin),
+			lon: ParisLonMin + rng.Float64()*(ParisLonMax-ParisLonMin),
+		}
+	}
+	p := &ParisSet{Builder: b, Locations: nLocations, Images: make([]*Image, 0, nImages)}
+	for i := 0; i < nImages; i++ {
+		li := int(zipf.Uint64())
+		l := &locs[li]
+		// A location hosts ~1 scene per 3 images taken there: dense
+		// hotspots are dominated by re-shoots, sparse locations are
+		// mostly unique (overall redundancy ≈ 50%, like the paper's
+		// disaster imagesets).
+		var grp int64
+		if len(l.groups) == 0 || rng.Float64() < 1.0/3.0 {
+			grp = b.NewScene()
+			l.groups = append(l.groups, grp)
+		} else {
+			grp = l.groups[rng.Intn(len(l.groups))]
+		}
+		kind := KindRandom
+		if rng.Float64() < 0.5 {
+			kind = KindNearDup
+		}
+		img := b.Image(grp, kind)
+		img.Lat, img.Lon = l.lat, l.lon
+		p.Images = append(p.Images, img)
+	}
+	return p
+}

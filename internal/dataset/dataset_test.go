@@ -1,0 +1,329 @@
+package dataset
+
+import (
+	"testing"
+
+	"bees/internal/features"
+	"bees/internal/imagelib"
+)
+
+func TestBuilderAssignsUniqueIDs(t *testing.T) {
+	b := NewBuilder(1, 100)
+	g1 := b.NewScene()
+	g2 := b.NewScene()
+	if g1 == g2 {
+		t.Fatal("scene group IDs collide")
+	}
+	i1 := b.Image(g1, KindCanonical)
+	i2 := b.Image(g1, KindNearDup)
+	if i1.ID == i2.ID {
+		t.Fatal("image IDs collide")
+	}
+	if i1.GroupID != g1 || i2.GroupID != g1 {
+		t.Fatal("group IDs not propagated")
+	}
+}
+
+func TestBuilderPanicsOnUnknownGroup(t *testing.T) {
+	b := NewBuilder(2, 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown group did not panic")
+		}
+	}()
+	b.Image(999, KindCanonical)
+}
+
+func TestBuilderPanicsOnUnknownKind(t *testing.T) {
+	b := NewBuilder(3, 100)
+	g := b.NewScene()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown kind did not panic")
+		}
+	}()
+	b.Image(g, VariantKind(0))
+}
+
+func TestImageRenderDeterministicAfterFree(t *testing.T) {
+	b := NewBuilder(4, 100)
+	g := b.NewScene()
+	im := b.Image(g, KindRandom)
+	r1 := im.Render().Clone()
+	im.Free()
+	r2 := im.Render()
+	for i := range r1.Pix {
+		if r1.Pix[i] != r2.Pix[i] {
+			t.Fatal("re-render after Free differs")
+		}
+	}
+}
+
+func TestImageRenderCached(t *testing.T) {
+	b := NewBuilder(5, 100)
+	im := b.Image(b.NewScene(), KindCanonical)
+	if im.Render() != im.Render() {
+		t.Fatal("Render should cache the raster")
+	}
+}
+
+func TestImageSizeModelAnchored(t *testing.T) {
+	b := NewBuilder(6, 100)
+	im := b.Image(b.NewScene(), KindCanonical)
+	m := im.SizeModel()
+	got := m.Bytes(im.Render(), 0)
+	if got < imagelib.NominalBytes*99/100 || got > imagelib.NominalBytes*101/100 {
+		t.Fatalf("anchored size = %d, want ~%d", got, imagelib.NominalBytes)
+	}
+	im.Free()
+	// The size anchor must survive Free.
+	if m2 := im.SizeModel(); m2 != m {
+		t.Fatal("SizeModel changed after Free")
+	}
+}
+
+func TestNearDupIsHighlySimilar(t *testing.T) {
+	b := NewBuilder(7, 500)
+	g := b.NewScene()
+	ref := b.Image(g, KindCanonical)
+	dup := b.Image(g, KindNearDup)
+	cfg := features.DefaultConfig()
+	sim := features.JaccardBinary(
+		features.ExtractORB(ref.Render(), cfg),
+		features.ExtractORB(dup.Render(), cfg),
+		features.DefaultHammingMax)
+	if sim < 0.1 {
+		t.Fatalf("near-dup similarity = %v, want comfortably above thresholds", sim)
+	}
+}
+
+func TestNewKentuckyStructure(t *testing.T) {
+	s := NewKentucky(8, 10)
+	if len(s.Images) != 40 {
+		t.Fatalf("Kentucky set has %d images, want 40", len(s.Images))
+	}
+	for g := 0; g < 10; g++ {
+		grp := s.Group(g)
+		if len(grp) != 4 {
+			t.Fatalf("group %d has %d images", g, len(grp))
+		}
+		for _, im := range grp[1:] {
+			if im.GroupID != grp[0].GroupID {
+				t.Fatalf("group %d images have mixed group IDs", g)
+			}
+		}
+		if g > 0 && grp[0].GroupID == s.Group(g - 1)[0].GroupID {
+			t.Fatal("adjacent groups share a scene")
+		}
+	}
+}
+
+func TestNewKentuckyDeterministic(t *testing.T) {
+	a := NewKentucky(9, 3)
+	b := NewKentucky(9, 3)
+	for i := range a.Images {
+		ra, rb := a.Images[i].Render(), b.Images[i].Render()
+		for j := range ra.Pix {
+			if ra.Pix[j] != rb.Pix[j] {
+				t.Fatalf("image %d differs across identical seeds", i)
+			}
+		}
+	}
+}
+
+func TestNewDisasterBatchCounts(t *testing.T) {
+	d := NewDisasterBatch(10, 100, 10, 0.5)
+	if len(d.Batch) != 100 {
+		t.Fatalf("batch size = %d, want 100", len(d.Batch))
+	}
+	if d.InBatchDup != 10 {
+		t.Fatalf("in-batch dups = %d, want 10", d.InBatchDup)
+	}
+	if len(d.ServerTwins) != 50 {
+		t.Fatalf("server twins = %d, want 50", len(d.ServerTwins))
+	}
+}
+
+func TestNewDisasterBatchInBatchDupsShareGroups(t *testing.T) {
+	d := NewDisasterBatch(11, 30, 5, 0)
+	groups := map[int64]int{}
+	for _, im := range d.Batch {
+		groups[im.GroupID]++
+	}
+	dupGroups := 0
+	for _, n := range groups {
+		if n == 2 {
+			dupGroups++
+		} else if n != 1 {
+			t.Fatalf("unexpected group multiplicity %d", n)
+		}
+	}
+	if dupGroups != 5 {
+		t.Fatalf("%d duplicated groups, want 5", dupGroups)
+	}
+}
+
+func TestNewDisasterBatchTwinsMatchUniqueImages(t *testing.T) {
+	d := NewDisasterBatch(12, 20, 4, 0.5)
+	// Twins must target unique (non-dup) batch scenes.
+	dupGroups := map[int64]bool{}
+	for _, im := range d.Batch[len(d.Batch)-d.InBatchDup:] {
+		dupGroups[im.GroupID] = true
+	}
+	batchGroups := map[int64]bool{}
+	for _, im := range d.Batch {
+		batchGroups[im.GroupID] = true
+	}
+	for _, tw := range d.ServerTwins {
+		if !batchGroups[tw.GroupID] {
+			t.Fatal("server twin does not correspond to a batch image")
+		}
+		if dupGroups[tw.GroupID] {
+			t.Fatal("server twin collides with an in-batch duplicate scene")
+		}
+	}
+}
+
+func TestNewDisasterBatchRatioClamped(t *testing.T) {
+	d := NewDisasterBatch(13, 20, 2, 2.0)
+	if len(d.ServerTwins) > 18 {
+		t.Fatalf("twins = %d exceed unique images", len(d.ServerTwins))
+	}
+	d = NewDisasterBatch(13, 20, 2, -1)
+	if len(d.ServerTwins) != 0 {
+		t.Fatal("negative ratio should produce no twins")
+	}
+}
+
+func TestNewDisasterBatchPanicsOnBadCounts(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inBatchDup >= total did not panic")
+		}
+	}()
+	NewDisasterBatch(14, 10, 10, 0)
+}
+
+func TestNewParisGeotagsInBox(t *testing.T) {
+	p := NewParis(15, 200, 40)
+	if len(p.Images) != 200 {
+		t.Fatalf("Paris set has %d images", len(p.Images))
+	}
+	for _, im := range p.Images {
+		if im.Lat < ParisLatMin || im.Lat > ParisLatMax ||
+			im.Lon < ParisLonMin || im.Lon > ParisLonMax {
+			t.Fatalf("geotag (%v, %v) outside the Paris box", im.Lat, im.Lon)
+		}
+	}
+}
+
+func TestNewParisHeavyTail(t *testing.T) {
+	p := NewParis(16, 2000, 300)
+	byLoc := map[[2]float64]int{}
+	for _, im := range p.Images {
+		byLoc[[2]float64{im.Lat, im.Lon}]++
+	}
+	maxCount := 0
+	for _, n := range byLoc {
+		if n > maxCount {
+			maxCount = n
+		}
+	}
+	// Zipf popularity: the densest location should hold a few percent of
+	// all images (paper: 3.3%), far above the uniform share.
+	uniform := len(p.Images) / len(byLoc)
+	if maxCount < 3*uniform {
+		t.Fatalf("densest location %d not heavy-tailed (uniform %d)", maxCount, uniform)
+	}
+}
+
+func TestNewParisRedundancyAtHotspots(t *testing.T) {
+	p := NewParis(17, 1500, 200)
+	// Group multiplicity must exceed 1 somewhere: hotspots re-shoot the
+	// same scenes.
+	byGroup := map[int64]int{}
+	for _, im := range p.Images {
+		byGroup[im.GroupID]++
+	}
+	multi := 0
+	for _, n := range byGroup {
+		if n > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no redundant scenes in the Paris set")
+	}
+	if len(byGroup) == len(p.Images) {
+		t.Fatal("every image is its own scene; redundancy model broken")
+	}
+}
+
+func TestNewParisPanicsOnBadSizes(t *testing.T) {
+	for _, tc := range [][2]int{{0, 10}, {10, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewParis(%d, %d) did not panic", tc[0], tc[1])
+				}
+			}()
+			NewParis(1, tc[0], tc[1])
+		}()
+	}
+}
+
+func TestDisasterBatchDeterministic(t *testing.T) {
+	a := NewDisasterBatch(600, 20, 4, 0.5)
+	b := NewDisasterBatch(600, 20, 4, 0.5)
+	for i := range a.Batch {
+		if a.Batch[i].GroupID != b.Batch[i].GroupID ||
+			a.Batch[i].Lat != b.Batch[i].Lat {
+			t.Fatalf("batch image %d differs across identical seeds", i)
+		}
+	}
+	for i := range a.ServerTwins {
+		if a.ServerTwins[i].GroupID != b.ServerTwins[i].GroupID {
+			t.Fatalf("twin %d differs", i)
+		}
+	}
+}
+
+func TestDisasterBatchGeotagsSharedWithinScene(t *testing.T) {
+	d := NewDisasterBatch(601, 30, 6, 0.3)
+	loc := map[int64][2]float64{}
+	for _, im := range d.Batch {
+		if prev, ok := loc[im.GroupID]; ok {
+			// Same scene, same spot (up to GPS jitter).
+			if diff := prev[0] - im.Lat; diff > 1e-4 || diff < -1e-4 {
+				t.Fatalf("scene %d photographed at two places", im.GroupID)
+			}
+		} else {
+			loc[im.GroupID] = [2]float64{im.Lat, im.Lon}
+		}
+	}
+}
+
+func TestDisasterBatchMoreDupsThanScenes(t *testing.T) {
+	// Burst-shooting case: 22 duplicates over 8 unique scenes.
+	d := NewDisasterBatch(602, 30, 22, 0)
+	if len(d.Batch) != 30 {
+		t.Fatalf("batch size %d", len(d.Batch))
+	}
+	groups := map[int64]int{}
+	for _, im := range d.Batch {
+		groups[im.GroupID]++
+	}
+	if len(groups) != 8 {
+		t.Fatalf("unique scenes = %d, want 8", len(groups))
+	}
+}
+
+func TestParisDeterministic(t *testing.T) {
+	a := NewParis(603, 100, 30)
+	b := NewParis(603, 100, 30)
+	for i := range a.Images {
+		if a.Images[i].GroupID != b.Images[i].GroupID || a.Images[i].Lat != b.Images[i].Lat {
+			t.Fatalf("Paris image %d differs across identical seeds", i)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package features
+
+import (
+	"testing"
+
+	"bees/internal/imagelib"
+)
+
+func benchRaster(b *testing.B) *imagelib.Raster {
+	b.Helper()
+	ref, _, _ := testImages(900)
+	return ref
+}
+
+func BenchmarkExtractORB(b *testing.B) {
+	r := benchRaster(b)
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExtractORB(r, cfg)
+	}
+}
+
+func BenchmarkExtractSIFT(b *testing.B) {
+	r := benchRaster(b)
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExtractSIFT(r, cfg)
+	}
+}
+
+func BenchmarkExtractPCASIFT(b *testing.B) {
+	r := benchRaster(b)
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExtractPCASIFT(r, cfg)
+	}
+}
+
+func BenchmarkExtractGlobal(b *testing.B) {
+	r := benchRaster(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExtractGlobal(r)
+	}
+}
+
+func BenchmarkDetectFAST(b *testing.B) {
+	r := benchRaster(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DetectFAST(r, 18)
+	}
+}
+
+func BenchmarkJaccardBinary(b *testing.B) {
+	ref, similar, _ := testImages(901)
+	cfg := DefaultConfig()
+	sa := ExtractORB(ref, cfg)
+	sb := ExtractORB(similar, cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		JaccardBinary(sa, sb, DefaultHammingMax)
+	}
+}
+
+func BenchmarkHamming(b *testing.B) {
+	var d1, d2 Descriptor
+	d1[0], d2[3] = 0xdeadbeef, 0xfeedface
+	b.ResetTimer()
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		sum += d1.Hamming(d2)
+	}
+	_ = sum
+}

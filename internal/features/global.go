@@ -1,0 +1,51 @@
+package features
+
+import "bees/internal/imagelib"
+
+// Global features: a single descriptor summarizing the entire image. The
+// paper's Section III-D discusses them (color histograms, texture,
+// shape) and notes local features are more robust — BEES uses ORB — but
+// two of the compared systems rely on them: PhotoNet eliminates
+// redundancy from geotags + color histograms, and MRC combines global
+// and local features. This file provides the histogram descriptor those
+// baselines build on.
+
+// GlobalBins is the histogram resolution.
+const GlobalBins = 64
+
+// GlobalDescriptor is an L1-normalized intensity histogram.
+type GlobalDescriptor [GlobalBins]float32
+
+// GlobalBytes is the wire/storage size of a global descriptor.
+const GlobalBytes = GlobalBins * 4
+
+// ExtractGlobal computes the normalized intensity histogram of r.
+func ExtractGlobal(r *imagelib.Raster) GlobalDescriptor {
+	var g GlobalDescriptor
+	if r.Pixels() == 0 {
+		return g
+	}
+	var counts [GlobalBins]int
+	for _, p := range r.Pix {
+		counts[int(p)*GlobalBins/256]++
+	}
+	inv := 1 / float32(r.Pixels())
+	for i, c := range counts {
+		g[i] = float32(c) * inv
+	}
+	return g
+}
+
+// Intersect returns the histogram intersection similarity in [0, 1]:
+// Σ min(g_i, o_i). Identical histograms score 1.
+func (g GlobalDescriptor) Intersect(o GlobalDescriptor) float64 {
+	var sum float64
+	for i := range g {
+		a, b := g[i], o[i]
+		if b < a {
+			a = b
+		}
+		sum += float64(a)
+	}
+	return sum
+}

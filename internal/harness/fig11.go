@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+)
+
+// Fig11Options parameterizes the per-image delay study: the shared batch
+// workload at 50% redundancy, run at 128/256/512 Kbps.
+type Fig11Options struct {
+	Seed        int64
+	BatchSize   int
+	InBatchDup  int
+	CrossRatio  float64
+	BitratesBps []float64
+}
+
+// DefaultFig11Options returns a laptop-scale configuration.
+func DefaultFig11Options() Fig11Options {
+	return Fig11Options{
+		Seed:        111,
+		BatchSize:   60,
+		InBatchDup:  6,
+		CrossRatio:  0.5,
+		BitratesBps: []float64{128000, 256000, 512000},
+	}
+}
+
+// Fig11Cell is one (scheme, bitrate) average per-image delay.
+type Fig11Cell struct {
+	Scheme     string
+	BitrateBps float64
+	AvgDelay   time.Duration
+}
+
+// RunFig11 measures average image-upload delay per scheme per bitrate.
+func RunFig11(opts Fig11Options) []Fig11Cell {
+	var cells []Fig11Cell
+	for _, bps := range opts.BitratesBps {
+		study := RunBatchStudy(BatchStudyOptions{
+			Seed:       opts.Seed,
+			BatchSize:  opts.BatchSize,
+			InBatchDup: opts.InBatchDup,
+			Ratios:     []float64{opts.CrossRatio},
+			BitrateBps: bps,
+			Ebat:       1.0,
+		}, StudySchemes())
+		for _, c := range study {
+			cells = append(cells, Fig11Cell{
+				Scheme:     c.Scheme,
+				BitrateBps: bps,
+				AvgDelay:   c.Delay,
+			})
+		}
+	}
+	return cells
+}
+
+// Fig11Table renders the delay comparison.
+func Fig11Table(cells []Fig11Cell) *Table {
+	t := &Table{
+		Title:  "Fig. 11 — average delay of uploading an image vs network bitrate",
+		Header: []string{"bitrate", "scheme", "avg delay/image"},
+		Notes: []string{
+			"paper: BEES cuts 83.3–88.0% vs Direct and 70.4–77.8% vs MRC;",
+			"SmartEye exceeds MRC (PCA-SIFT extraction is slow)",
+		},
+	}
+	for _, c := range cells {
+		t.Add(fmt.Sprintf("%.0fKbps", c.BitrateBps/1000), c.Scheme,
+			fmt.Sprintf("%.2fs", c.AvgDelay.Seconds()))
+	}
+	return t
+}

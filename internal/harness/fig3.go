@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"bees/internal/dataset"
+	"bees/internal/energy"
+	"bees/internal/features"
+	"bees/internal/imagelib"
+	"bees/internal/metrics"
+	"bees/internal/server"
+)
+
+// Fig3Options parameterizes the bitmap-compression study of Fig. 3. The
+// paper indexes the 10,200-image Kentucky set and queries 200 images (one
+// per group) at compression proportions 0–0.9.
+type Fig3Options struct {
+	Seed        int64
+	Groups      int // Kentucky groups to index (4 images each)
+	Queries     int // queried images (≤ Groups)
+	Proportions []float64
+	TopK        int
+}
+
+// DefaultFig3Options returns a laptop-scale configuration.
+func DefaultFig3Options() Fig3Options {
+	return Fig3Options{
+		Seed:        31,
+		Groups:      120,
+		Queries:     60,
+		Proportions: []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9},
+		TopK:        4,
+	}
+}
+
+// Fig3Result is one operating point of Figs. 3(a) and 3(b).
+type Fig3Result struct {
+	Proportion          float64
+	Precision           float64
+	NormalizedPrecision float64
+	NormalizedEnergy    float64
+}
+
+// RunFig3 measures top-K query precision and extraction energy as the
+// queried images' bitmaps are compressed, both normalized to the
+// uncompressed case.
+func RunFig3(opts Fig3Options) []Fig3Result {
+	if opts.Groups <= 0 || opts.Queries <= 0 || opts.Queries > opts.Groups {
+		panic("harness: bad Fig3 options")
+	}
+	if opts.TopK <= 0 {
+		opts.TopK = 4
+	}
+	set := dataset.NewKentucky(opts.Seed, opts.Groups)
+	srv := server.NewDefault()
+	extractCfg := features.DefaultConfig()
+	for _, img := range set.Images {
+		srv.SeedIndex(features.ExtractORB(img.Render(), extractCfg),
+			server.UploadMeta{GroupID: img.GroupID})
+		img.Free()
+	}
+	model := energy.DefaultModel()
+	results := make([]Fig3Result, 0, len(opts.Proportions))
+	var basePrecision, baseEnergy float64
+	for pi, c := range opts.Proportions {
+		var precSum float64
+		for q := 0; q < opts.Queries; q++ {
+			img := set.Group(q)[0]
+			bitmap := imagelib.CompressBitmap(img.Render(), c)
+			qset := features.ExtractORB(bitmap, extractCfg)
+			img.Free()
+			top := srv.QueryTopK(qset, opts.TopK)
+			groups := make([]int64, 0, len(top))
+			for _, r := range top {
+				groups = append(groups, r.GroupID)
+			}
+			precSum += metrics.PrecisionAtK(groups, img.GroupID)
+		}
+		res := Fig3Result{
+			Proportion: c,
+			Precision:  precSum / float64(opts.Queries),
+		}
+		e := model.ExtractEnergy(features.AlgORB, c)
+		if pi == 0 {
+			basePrecision, baseEnergy = res.Precision, e
+		}
+		if basePrecision > 0 {
+			res.NormalizedPrecision = res.Precision / basePrecision
+		}
+		if baseEnergy > 0 {
+			res.NormalizedEnergy = e / baseEnergy
+		}
+		results = append(results, res)
+	}
+	return results
+}
+
+// Fig3Table renders the results.
+func Fig3Table(results []Fig3Result) *Table {
+	t := &Table{
+		Title:  "Fig. 3 — precision and extraction energy vs bitmap compression proportion",
+		Header: []string{"proportion", "precision", "norm-precision", "norm-energy"},
+		Notes: []string{
+			"paper: precision stays >90% through proportion 0.4; energy falls ~linearly",
+		},
+	}
+	for _, r := range results {
+		t.Add(r.Proportion, r.Precision, pct(r.NormalizedPrecision), pct(r.NormalizedEnergy))
+	}
+	return t
+}

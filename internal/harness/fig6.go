@@ -1,0 +1,186 @@
+package harness
+
+import (
+	"sort"
+
+	"bees/internal/core"
+	"bees/internal/dataset"
+	"bees/internal/features"
+	"bees/internal/imagelib"
+	"bees/internal/metrics"
+	"bees/internal/server"
+)
+
+// Fig6Options parameterizes the precision-by-scheme study. The paper
+// queries the Kentucky set 500/1000/1500 times and compares SIFT,
+// PCA-SIFT and BEES at Ebat 100/70/40/10%, all normalized to SIFT.
+type Fig6Options struct {
+	Seed    int64
+	Groups  int
+	Queries int
+	Ebats   []float64
+	TopK    int
+	// FloatCap bounds the per-image descriptor count for the float
+	// (SIFT/PCA-SIFT) brute-force retrieval, which has no LSH index.
+	FloatCap int
+}
+
+// DefaultFig6Options returns a laptop-scale configuration.
+func DefaultFig6Options() Fig6Options {
+	return Fig6Options{
+		Seed:     61,
+		Groups:   60,
+		Queries:  30,
+		Ebats:    []float64{1.0, 0.7, 0.4, 0.1},
+		TopK:     4,
+		FloatCap: 64,
+	}
+}
+
+// Fig6Result is one scheme's precision.
+type Fig6Result struct {
+	Scheme     string
+	Precision  float64
+	Normalized float64 // to SIFT
+}
+
+// RunFig6 measures top-K retrieval precision for SIFT, PCA-SIFT and BEES
+// (ORB with EAC bitmap compression at each battery level).
+func RunFig6(opts Fig6Options) []Fig6Result {
+	if opts.Groups <= 0 || opts.Queries <= 0 || opts.Queries > opts.Groups {
+		panic("harness: bad Fig6 options")
+	}
+	if opts.TopK <= 0 {
+		opts.TopK = 4
+	}
+	if opts.FloatCap <= 0 {
+		opts.FloatCap = 64
+	}
+	set := dataset.NewKentucky(opts.Seed, opts.Groups)
+	cfg := features.DefaultConfig()
+
+	// Index every image three ways: ORB in the LSH server, SIFT and
+	// PCA-SIFT in flat slices for brute-force retrieval.
+	srv := server.NewDefault()
+	type floatEntry struct {
+		group int64
+		sift  *features.FloatSet
+		pca   *features.FloatSet
+	}
+	flat := make([]floatEntry, 0, len(set.Images))
+	for _, img := range set.Images {
+		raster := img.Render()
+		srv.SeedIndex(features.ExtractORB(raster, cfg), server.UploadMeta{GroupID: img.GroupID})
+		sift := capFloat(features.ExtractSIFT(raster, cfg), opts.FloatCap)
+		flat = append(flat, floatEntry{
+			group: img.GroupID,
+			sift:  sift,
+			pca:   capFloat(features.ExtractPCASIFT(raster, cfg), opts.FloatCap),
+		})
+		img.Free()
+	}
+
+	queryTopFloat := func(q *features.FloatSet, pca bool) []int64 {
+		type scored struct {
+			group int64
+			sim   float64
+		}
+		scores := make([]scored, 0, len(flat))
+		for _, e := range flat {
+			target := e.sift
+			if pca {
+				target = e.pca
+			}
+			scores = append(scores, scored{
+				group: e.group,
+				sim:   features.JaccardFloat(q, target, features.DefaultRatio),
+			})
+		}
+		sort.Slice(scores, func(i, j int) bool { return scores[i].sim > scores[j].sim })
+		groups := make([]int64, 0, opts.TopK)
+		for i := 0; i < opts.TopK && i < len(scores); i++ {
+			groups = append(groups, scores[i].group)
+		}
+		return groups
+	}
+
+	var siftPrec, pcaPrec float64
+	beesPrec := make([]float64, len(opts.Ebats))
+	for q := 0; q < opts.Queries; q++ {
+		img := set.Group(q)[0]
+		raster := img.Render()
+		qSift := capFloat(features.ExtractSIFT(raster, cfg), opts.FloatCap)
+		siftPrec += metrics.PrecisionAtK(queryTopFloat(qSift, false), img.GroupID)
+		qPCA := capFloat(features.ExtractPCASIFT(raster, cfg), opts.FloatCap)
+		pcaPrec += metrics.PrecisionAtK(queryTopFloat(qPCA, true), img.GroupID)
+		for ei, ebat := range opts.Ebats {
+			bitmap := imagelib.CompressBitmap(raster, core.EAC(ebat))
+			qORB := features.ExtractORB(bitmap, cfg)
+			top := srv.QueryTopK(qORB, opts.TopK)
+			groups := make([]int64, 0, len(top))
+			for _, r := range top {
+				groups = append(groups, r.GroupID)
+			}
+			beesPrec[ei] += metrics.PrecisionAtK(groups, img.GroupID)
+		}
+		img.Free()
+	}
+	n := float64(opts.Queries)
+	results := []Fig6Result{
+		{Scheme: "SIFT", Precision: siftPrec / n},
+		{Scheme: "PCA-SIFT", Precision: pcaPrec / n},
+	}
+	for ei, ebat := range opts.Ebats {
+		results = append(results, Fig6Result{
+			Scheme:    fig6BEESName(ebat),
+			Precision: beesPrec[ei] / n,
+		})
+	}
+	base := results[0].Precision
+	for i := range results {
+		if base > 0 {
+			results[i].Normalized = results[i].Precision / base
+		}
+	}
+	return results
+}
+
+func fig6BEESName(ebat float64) string {
+	switch {
+	case ebat >= 0.99:
+		return "BEES(100)"
+	case ebat >= 0.69:
+		return "BEES(70)"
+	case ebat >= 0.39:
+		return "BEES(40)"
+	default:
+		return "BEES(10)"
+	}
+}
+
+func capFloat(s *features.FloatSet, n int) *features.FloatSet {
+	if s.Len() <= n {
+		return s
+	}
+	return &features.FloatSet{
+		Dim:       s.Dim,
+		Vectors:   s.Vectors[:n],
+		Keypoints: s.Keypoints[:n],
+		Algorithm: s.Algorithm,
+	}
+}
+
+// Fig6Table renders the precision comparison.
+func Fig6Table(results []Fig6Result) *Table {
+	t := &Table{
+		Title:  "Fig. 6 — top-4 precision normalized to SIFT",
+		Header: []string{"scheme", "precision", "normalized"},
+		Notes: []string{
+			"paper: BEES(100) > 90.3% of SIFT; BEES(10) > 84.9%; PCA-SIFT between",
+		},
+	}
+	for _, r := range results {
+		t.Add(r.Scheme, r.Precision, pct(r.Normalized))
+	}
+	return t
+}

@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"time"
+
+	"bees/internal/baseline"
+	"bees/internal/core"
+	"bees/internal/dataset"
+	"bees/internal/energy"
+	"bees/internal/features"
+	"bees/internal/netsim"
+	"bees/internal/server"
+)
+
+// BatchStudyOptions parameterizes the shared workload of Figs. 7, 10 and
+// 11: a batch (paper: 100 images, 10 of them in-batch duplicates) at
+// several cross-batch redundancy ratios, run under every scheme.
+type BatchStudyOptions struct {
+	Seed       int64
+	BatchSize  int
+	InBatchDup int
+	Ratios     []float64
+	BitrateBps float64
+	// Ebat pins the battery fraction every scheme starts the batch at.
+	Ebat float64
+}
+
+// DefaultBatchStudyOptions returns a laptop-scale configuration.
+func DefaultBatchStudyOptions() BatchStudyOptions {
+	return BatchStudyOptions{
+		Seed:       72,
+		BatchSize:  60,
+		InBatchDup: 6,
+		Ratios:     []float64{0, 0.25, 0.5, 0.75},
+		BitrateBps: 256000,
+		Ebat:       1.0,
+	}
+}
+
+// BatchStudyCell is one (scheme, ratio) outcome, carrying everything
+// Figs. 7, 10 and 11 read.
+type BatchStudyCell struct {
+	Scheme  string
+	Ratio   float64
+	EnergyJ float64
+	Bytes   int
+	Delay   time.Duration
+	Report  core.BatchReport
+}
+
+// StudySchemes returns the evaluation's scheme set in the paper's order.
+func StudySchemes() []core.Scheme {
+	return []core.Scheme{
+		baseline.Direct{},
+		baseline.NewSmartEye(),
+		baseline.NewMRC(),
+		baseline.NewBEES(),
+	}
+}
+
+// RunBatchStudy executes every scheme at every redundancy ratio on
+// identical workloads and fresh devices/servers.
+func RunBatchStudy(opts BatchStudyOptions, schemes []core.Scheme) []BatchStudyCell {
+	if opts.BatchSize <= 0 || opts.InBatchDup >= opts.BatchSize {
+		panic("harness: bad batch study options")
+	}
+	if opts.BitrateBps <= 0 {
+		opts.BitrateBps = 256000
+	}
+	if opts.Ebat <= 0 {
+		opts.Ebat = 1
+	}
+	extractCfg := features.DefaultConfig()
+	var cells []BatchStudyCell
+	for _, ratio := range opts.Ratios {
+		for _, scheme := range schemes {
+			d := dataset.NewDisasterBatch(opts.Seed, opts.BatchSize, opts.InBatchDup, ratio)
+			srv := server.NewDefault()
+			for _, tw := range d.ServerTwins {
+				srv.SeedIndex(features.ExtractORB(tw.Render(), extractCfg),
+					server.UploadMeta{GroupID: tw.GroupID})
+				tw.Free()
+			}
+			dev := core.NewDevice(nil, netsim.NewLink(opts.BitrateBps), energy.DefaultModel())
+			dev.Battery.SetEbat(opts.Ebat)
+			r := scheme.ProcessBatch(dev, srv, d.Batch)
+			cells = append(cells, BatchStudyCell{
+				Scheme:  r.Scheme,
+				Ratio:   ratio,
+				EnergyJ: r.Energy.Total(),
+				Bytes:   r.TotalBytes(),
+				Delay:   r.AvgDelayPerImage(),
+				Report:  r,
+			})
+		}
+	}
+	return cells
+}
+
+// Fig7Table renders energy overhead vs redundancy ratio (Fig. 7).
+func Fig7Table(cells []BatchStudyCell) *Table {
+	t := &Table{
+		Title:  "Fig. 7 — energy overhead vs cross-batch redundancy ratio",
+		Header: []string{"redundancy", "scheme", "energy (J)", "vs Direct"},
+		Notes: []string{
+			"paper: BEES cuts 67.3–70.8% vs MRC and 67.6–85.3% vs Direct;",
+			"SmartEye and MRC exceed Direct at 0% redundancy",
+		},
+	}
+	direct := map[float64]float64{}
+	for _, c := range cells {
+		if c.Scheme == "Direct Upload" {
+			direct[c.Ratio] = c.EnergyJ
+		}
+	}
+	for _, c := range cells {
+		rel := "-"
+		if d := direct[c.Ratio]; d > 0 {
+			rel = pct(c.EnergyJ/d - 1)
+		}
+		t.Add(pct(c.Ratio), c.Scheme, c.EnergyJ, rel)
+	}
+	return t
+}
+
+// Fig10Table renders bandwidth overhead vs redundancy ratio (Fig. 10).
+func Fig10Table(cells []BatchStudyCell) *Table {
+	t := &Table{
+		Title:  "Fig. 10 — network bandwidth overhead vs cross-batch redundancy ratio",
+		Header: []string{"redundancy", "scheme", "bytes", "vs SmartEye"},
+		Notes: []string{
+			"paper: BEES cuts 77.4–79.2% vs SmartEye; MRC slightly above SmartEye",
+		},
+	}
+	smarteye := map[float64]int{}
+	for _, c := range cells {
+		if c.Scheme == "SmartEye" {
+			smarteye[c.Ratio] = c.Bytes
+		}
+	}
+	for _, c := range cells {
+		rel := "-"
+		if s := smarteye[c.Ratio]; s > 0 {
+			rel = pct(float64(c.Bytes)/float64(s) - 1)
+		}
+		t.Add(pct(c.Ratio), c.Scheme, mb(c.Bytes), rel)
+	}
+	return t
+}

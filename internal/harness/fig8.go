@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"bees/internal/baseline"
+	"bees/internal/core"
+	"bees/internal/dataset"
+	"bees/internal/energy"
+	"bees/internal/features"
+	"bees/internal/netsim"
+	"bees/internal/server"
+)
+
+// Fig8Options parameterizes the energy-aware adaptation breakdown: the
+// paper uploads the same 100-image batch (10 in-batch duplicates, 25%
+// cross-batch redundancy) at remaining energies 100/70/40/10% and splits
+// BEES's energy into feature extraction, feature upload and image upload.
+type Fig8Options struct {
+	Seed       int64
+	BatchSize  int
+	InBatchDup int
+	CrossRatio float64
+	Ebats      []float64
+	BitrateBps float64
+}
+
+// DefaultFig8Options returns a laptop-scale configuration.
+func DefaultFig8Options() Fig8Options {
+	return Fig8Options{
+		Seed:       81,
+		BatchSize:  60,
+		InBatchDup: 6,
+		CrossRatio: 0.25,
+		Ebats:      []float64{1.0, 0.7, 0.4, 0.1},
+		BitrateBps: 256000,
+	}
+}
+
+// Fig8Row is BEES's energy breakdown at one battery level.
+type Fig8Row struct {
+	Ebat       float64
+	ExtractJ   float64
+	FeatureTxJ float64
+	ImageTxJ   float64
+	TotalJ     float64
+}
+
+// RunFig8 measures the BEES energy breakdown across battery levels.
+func RunFig8(opts Fig8Options) []Fig8Row {
+	if opts.BatchSize <= 0 {
+		panic("harness: bad Fig8 options")
+	}
+	if opts.BitrateBps <= 0 {
+		opts.BitrateBps = 256000
+	}
+	extractCfg := features.DefaultConfig()
+	bees := baseline.NewBEES()
+	rows := make([]Fig8Row, 0, len(opts.Ebats))
+	for _, ebat := range opts.Ebats {
+		d := dataset.NewDisasterBatch(opts.Seed, opts.BatchSize, opts.InBatchDup, opts.CrossRatio)
+		srv := server.NewDefault()
+		for _, tw := range d.ServerTwins {
+			srv.SeedIndex(features.ExtractORB(tw.Render(), extractCfg),
+				server.UploadMeta{GroupID: tw.GroupID})
+			tw.Free()
+		}
+		dev := core.NewDevice(nil, netsim.NewLink(opts.BitrateBps), energy.DefaultModel())
+		dev.Battery.SetEbat(ebat)
+		r := bees.ProcessBatch(dev, srv, d.Batch)
+		rows = append(rows, Fig8Row{
+			Ebat:       ebat,
+			ExtractJ:   r.Energy.Get(energy.CatExtract),
+			FeatureTxJ: r.Energy.Get(energy.CatFeatureTx),
+			ImageTxJ:   r.Energy.Get(energy.CatImageTx),
+			TotalJ:     r.Energy.Total(),
+		})
+	}
+	return rows
+}
+
+// Fig8Table renders the breakdown.
+func Fig8Table(rows []Fig8Row) *Table {
+	t := &Table{
+		Title:  "Fig. 8 — BEES energy breakdown vs remaining energy (energy-aware adaptation)",
+		Header: []string{"Ebat", "extract (J)", "feature-tx (J)", "image-tx (J)", "total (J)"},
+		Notes: []string{
+			"paper: extraction and image-upload energy fall as Ebat falls; feature upload stays small",
+		},
+	}
+	for _, r := range rows {
+		t.Add(pct(r.Ebat), r.ExtractJ, r.FeatureTxJ, r.ImageTxJ, r.TotalJ)
+	}
+	return t
+}

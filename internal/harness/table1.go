@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"fmt"
+
+	"bees/internal/dataset"
+	"bees/internal/features"
+	"bees/internal/imagelib"
+)
+
+// Table1Options parameterizes the feature-space-overhead measurement of
+// Table I. The paper extracts SIFT, PCA-SIFT and ORB features from the
+// whole Kentucky (10,200 images) and Paris (501,356 images) sets; this
+// runner measures a sample and scales.
+type Table1Options struct {
+	Seed   int64
+	Sample int // images measured per dataset
+	// KentuckyImages and ParisImages scale the sample to dataset size.
+	KentuckyImages int
+	ParisImages    int
+}
+
+// DefaultTable1Options returns a laptop-scale configuration that still
+// reports at the paper's dataset sizes.
+func DefaultTable1Options() Table1Options {
+	return Table1Options{
+		Seed:           71,
+		Sample:         60,
+		KentuckyImages: 10200,
+		ParisImages:    501356,
+	}
+}
+
+// Table1Row is one dataset's measurement.
+type Table1Row struct {
+	Dataset     string
+	Images      int
+	ImageBytes  int64
+	SIFTBytes   int64
+	PCASBytes   int64
+	ORBBytes    int64
+	SIFTPct     float64 // of SIFT (=100)
+	PCASPct     float64
+	ORBPct      float64
+	SIFTOfImage float64 // feature bytes / image bytes
+}
+
+// RunTable1 measures average per-image feature bytes on a sample of each
+// dataset and scales to the full dataset sizes.
+func RunTable1(opts Table1Options) []Table1Row {
+	if opts.Sample <= 0 {
+		panic("harness: Table1 requires a positive sample")
+	}
+	cfg := features.DefaultConfig()
+	measure := func(images []*dataset.Image, name string, scaleTo int) Table1Row {
+		var sift, pcas, orb int64
+		for _, img := range images {
+			raster := img.Render()
+			sift += int64(features.ExtractSIFT(raster, cfg).Bytes())
+			pcas += int64(features.ExtractPCASIFT(raster, cfg).Bytes())
+			orb += int64(features.ExtractORB(raster, cfg).Bytes())
+			img.Free()
+		}
+		n := int64(len(images))
+		scale := int64(scaleTo)
+		row := Table1Row{
+			Dataset:    name,
+			Images:     scaleTo,
+			ImageBytes: int64(imagelib.NominalBytes) * scale,
+			SIFTBytes:  sift / n * scale,
+			PCASBytes:  pcas / n * scale,
+			ORBBytes:   orb / n * scale,
+		}
+		row.SIFTPct = 100
+		row.PCASPct = 100 * float64(row.PCASBytes) / float64(row.SIFTBytes)
+		row.ORBPct = 100 * float64(row.ORBBytes) / float64(row.SIFTBytes)
+		row.SIFTOfImage = float64(row.SIFTBytes) / float64(row.ImageBytes)
+		return row
+	}
+
+	kentucky := dataset.NewKentucky(opts.Seed, (opts.Sample+3)/4)
+	paris := dataset.NewParis(opts.Seed+1, opts.Sample, opts.Sample/3+1)
+	return []Table1Row{
+		measure(kentucky.Images[:opts.Sample], "Kentucky", opts.KentuckyImages),
+		measure(paris.Images[:opts.Sample], "Paris", opts.ParisImages),
+	}
+}
+
+// Table1Table renders the space-overhead comparison.
+func Table1Table(rows []Table1Row) *Table {
+	t := &Table{
+		Title: "Table I — space overheads of image features",
+		Header: []string{
+			"imageset", "images", "image size", "SIFT", "PCA-SIFT", "BEES (ORB)",
+		},
+		Notes: []string{
+			"paper: PCA-SIFT 25% of SIFT; ORB 4.46% (Kentucky) / 1.76% (Paris) of SIFT",
+			"descriptor formats give PCA-SIFT/SIFT = 144/512 = 28.1%, ORB/SIFT = 32/512 = 6.25% at equal feature counts",
+		},
+	}
+	for _, r := range rows {
+		t.Add(r.Dataset, r.Images, gbString(r.ImageBytes),
+			fmt.Sprintf("%s (%.1f%%)", gbString(r.SIFTBytes), r.SIFTPct),
+			fmt.Sprintf("%s (%.1f%%)", gbString(r.PCASBytes), r.PCASPct),
+			fmt.Sprintf("%s (%.2f%%)", gbString(r.ORBBytes), r.ORBPct))
+	}
+	return t
+}
+
+func gbString(b int64) string {
+	const gb = 1 << 30
+	if b >= gb {
+		return fmt.Sprintf("%.2fGB", float64(b)/gb)
+	}
+	return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+}

@@ -1,0 +1,65 @@
+package imagelib
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkRenderScene(b *testing.B) {
+	pool := NewMotifPool(900, 256, 40)
+	scene := GenScene(pool, rand.New(rand.NewSource(901)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scene.Render(pool, DefaultW, DefaultH, CanonicalVariant())
+	}
+}
+
+func BenchmarkEncodedSize(b *testing.B) {
+	r := testScene(902)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodedSize(r, 0.85)
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	r := testScene(903)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeDecode(r, 0.85)
+	}
+}
+
+func BenchmarkSSIM(b *testing.B) {
+	r := testScene(904)
+	_, dec := EncodeDecode(r, 0.85)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SSIM(r, dec)
+	}
+}
+
+func BenchmarkDownsampleHalf(b *testing.B) {
+	r := testScene(905)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Downsample(r, r.W/2, r.H/2)
+	}
+}
+
+func BenchmarkLosslessSize(b *testing.B) {
+	r := testScene(906)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LosslessSize(r)
+	}
+}
+
+func BenchmarkBoxBlur(b *testing.B) {
+	r := testScene(907)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BoxBlur(r, 3)
+	}
+}

@@ -1,0 +1,249 @@
+package imagelib
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testScene(seed int64) *Raster {
+	pool := NewMotifPool(seed, 32, 40)
+	rng := rand.New(rand.NewSource(seed + 1))
+	return GenScene(pool, rng).Render(pool, DefaultW, DefaultH, CanonicalVariant())
+}
+
+func TestQualityToSetting(t *testing.T) {
+	// q = 100·(1−p)^0.6 (see QualityToSetting).
+	tests := []struct {
+		p    float64
+		want int
+	}{
+		{0, 100}, {0.5, 66}, {0.85, 32}, {0.99, 6}, {1.5, 6}, {-0.2, 100},
+	}
+	for _, tc := range tests {
+		if got := QualityToSetting(tc.p); got != tc.want {
+			t.Errorf("QualityToSetting(%v) = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestQuantTableScales(t *testing.T) {
+	q100 := quantTable(100)
+	q50 := quantTable(50)
+	q10 := quantTable(10)
+	for i := range q100 {
+		if q100[i] > q50[i] || q50[i] > q10[i] {
+			t.Fatalf("quant table not monotone in quality at %d: %d %d %d", i, q100[i], q50[i], q10[i])
+		}
+		if q100[i] < 1 || q10[i] > 255 {
+			t.Fatalf("quant entry out of range at %d", i)
+		}
+	}
+}
+
+func TestEncodedSizeDecreasesWithCompression(t *testing.T) {
+	r := testScene(100)
+	s0 := EncodedSize(r, 0)
+	s5 := EncodedSize(r, 0.5)
+	s85 := EncodedSize(r, 0.85)
+	s95 := EncodedSize(r, 0.95)
+	if !(s0 > s5 && s5 > s85 && s85 > s95) {
+		t.Fatalf("sizes not decreasing: %d %d %d %d", s0, s5, s85, s95)
+	}
+	if s85 > s0/2 {
+		t.Fatalf("p=0.85 should compress to well under half: %d vs %d", s85, s0)
+	}
+}
+
+func TestEncodeDecodeIdentityAtHighQuality(t *testing.T) {
+	r := testScene(101)
+	_, dec := EncodeDecode(r, 0)
+	if got := SSIM(r, dec); got < 0.97 {
+		t.Fatalf("quality-0 round trip SSIM = %v, want >= 0.97", got)
+	}
+}
+
+func TestEncodeDecodeQualityDegrades(t *testing.T) {
+	r := testScene(102)
+	_, d85 := EncodeDecode(r, 0.85)
+	_, d98 := EncodeDecode(r, 0.98)
+	s85 := SSIM(r, d85)
+	s98 := SSIM(r, d98)
+	if s85 <= s98 {
+		t.Fatalf("SSIM should degrade with compression: %v <= %v", s85, s98)
+	}
+	if s85 < 0.55 {
+		t.Fatalf("p=0.85 SSIM too low: %v (should be a usable image)", s85)
+	}
+}
+
+func TestEncodedSizePositive(t *testing.T) {
+	r := NewRaster(8, 8) // all-zero block still carries header cost
+	if got := EncodedSize(r, 0.5); got <= 0 {
+		t.Fatalf("EncodedSize = %d, want > 0", got)
+	}
+}
+
+func TestEncodeHandlesNonMultipleOf8(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	r := randomRaster(rng, 37, 29)
+	size, dec := EncodeDecode(r, 0.2)
+	if size <= 0 {
+		t.Fatalf("size = %d", size)
+	}
+	if dec.W != 37 || dec.H != 29 {
+		t.Fatalf("decoded size = %dx%d, want 37x29", dec.W, dec.H)
+	}
+}
+
+func TestDCTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	var block, coef, back [64]float64
+	for i := range block {
+		block[i] = float64(rng.Intn(256)) - 128
+	}
+	fdct(&block, &coef)
+	idct(&coef, &back)
+	for i := range block {
+		if d := block[i] - back[i]; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("DCT round trip error at %d: %v vs %v", i, block[i], back[i])
+		}
+	}
+}
+
+func TestDCTDCCoefficient(t *testing.T) {
+	var block, coef [64]float64
+	for i := range block {
+		block[i] = 64
+	}
+	fdct(&block, &coef)
+	// DC of a constant block is 8·value; all AC must vanish.
+	if d := coef[0] - 64*8; d > 1e-6 || d < -1e-6 {
+		t.Fatalf("DC coefficient = %v, want %v", coef[0], 64*8.0)
+	}
+	for i := 1; i < 64; i++ {
+		if coef[i] > 1e-6 || coef[i] < -1e-6 {
+			t.Fatalf("AC coefficient %d = %v, want 0", i, coef[i])
+		}
+	}
+}
+
+func TestZigzagIsPermutation(t *testing.T) {
+	seen := [64]bool{}
+	for _, z := range zigzag {
+		if z < 0 || z >= 64 || seen[z] {
+			t.Fatalf("zigzag is not a permutation (index %d)", z)
+		}
+		seen[z] = true
+	}
+}
+
+func TestBitCategory(t *testing.T) {
+	tests := []struct {
+		v, want int
+	}{
+		{0, 0}, {1, 1}, {-1, 1}, {2, 2}, {3, 2}, {4, 3}, {-7, 3}, {255, 8}, {-1024, 11},
+	}
+	for _, tc := range tests {
+		if got := bitCategory(tc.v); got != tc.want {
+			t.Errorf("bitCategory(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestBlockBitsZeroBlockIsCheap(t *testing.T) {
+	var zero [64]int
+	var busy [64]int
+	for i := range busy {
+		busy[i] = 10
+	}
+	if blockBits(&zero, 0) >= blockBits(&busy, 0) {
+		t.Fatal("zero block should cost fewer bits than busy block")
+	}
+}
+
+func TestLosslessSizePositiveAndBounded(t *testing.T) {
+	r := testScene(400)
+	size := LosslessSize(r)
+	if size <= 0 {
+		t.Fatalf("lossless size = %d", size)
+	}
+	if size > r.Pixels()+r.H+64 {
+		t.Fatalf("lossless size %d exceeds raw size", size)
+	}
+}
+
+func TestLosslessSmoothCompressesBetterThanNoise(t *testing.T) {
+	smooth := NewRaster(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			smooth.Set(x, y, uint8(2*x+y))
+		}
+	}
+	rng := rand.New(rand.NewSource(40))
+	noisy := randomRaster(rng, 64, 64)
+	if LosslessSize(smooth) >= LosslessSize(noisy) {
+		t.Fatal("smooth gradient should compress far better than noise")
+	}
+}
+
+func TestLosslessVsLossyOnScenes(t *testing.T) {
+	// The motivation for AIU's lossy codec: on realistic (sensor-noisy)
+	// photos, lossless coding cannot touch the reduction the quality
+	// proportion 0.85 achieves — predictive filtering cannot remove
+	// noise entropy, quantization can. (A noise-free synthetic render
+	// compresses losslessly almost for free, which is exactly why this
+	// test renders with noise.)
+	pool := NewMotifPool(401, 32, 40)
+	rng := rand.New(rand.NewSource(402))
+	scene := GenScene(pool, rng)
+	r := scene.Render(pool, DefaultW, DefaultH, Variant{NoiseSigma: 3, Seed: 7})
+	lossless := LosslessSize(r)
+	lossy := EncodedSize(r, 0.85)
+	if float64(lossy) >= 0.6*float64(lossless) {
+		t.Fatalf("lossy (%d) should be far below lossless (%d)", lossy, lossless)
+	}
+}
+
+func TestLosslessEmptyAndUniform(t *testing.T) {
+	u := NewRaster(32, 32)
+	for i := range u.Pix {
+		u.Pix[i] = 100
+	}
+	// A constant image has zero-entropy residuals: just overhead.
+	if size := LosslessSize(u); size > 32+64+8 {
+		t.Fatalf("uniform image lossless size = %d", size)
+	}
+}
+
+func TestPaethPredictor(t *testing.T) {
+	tests := []struct{ l, u, ul, want int }{
+		{10, 10, 10, 10}, // all equal
+		{100, 0, 0, 100}, // p=100, closest to left
+		{0, 100, 0, 100}, // closest to up
+		{50, 60, 70, 50}, // p=40: |40-50|=10 |40-60|=20 |40-70|=30 → left
+	}
+	for _, tc := range tests {
+		if got := paeth(tc.l, tc.u, tc.ul); got != tc.want {
+			t.Errorf("paeth(%d,%d,%d) = %d, want %d", tc.l, tc.u, tc.ul, got, tc.want)
+		}
+	}
+}
+
+// TestEncodedSizeMonotoneQuick: compressing harder never grows the file,
+// over random rasters and random proportion pairs.
+func TestEncodedSizeMonotoneQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	f := func(seed int64, a, b uint8) bool {
+		r := randomRaster(rand.New(rand.NewSource(seed)), 32, 32)
+		pa, pb := float64(a)/300, float64(b)/300
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return EncodedSize(r, pb) <= EncodedSize(r, pa)
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+package imagelib
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// PGM (Portable GrayMap, binary P5) input/output: the simplest standard
+// raster format, letting the synthetic datasets be exported for visual
+// inspection and letting externally produced grayscale images enter the
+// pipeline.
+
+// WritePGM writes r as a binary (P5) PGM.
+func WritePGM(w io.Writer, r *Raster) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", r.W, r.H); err != nil {
+		return fmt.Errorf("imagelib: write PGM header: %w", err)
+	}
+	if _, err := bw.Write(r.Pix); err != nil {
+		return fmt.Errorf("imagelib: write PGM pixels: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("imagelib: flush PGM: %w", err)
+	}
+	return nil
+}
+
+// ReadPGM parses a binary (P5) PGM with a maxval of 255.
+func ReadPGM(r io.Reader) (*Raster, error) {
+	br := bufio.NewReader(r)
+	var magic string
+	if _, err := fmt.Fscan(br, &magic); err != nil {
+		return nil, fmt.Errorf("imagelib: read PGM magic: %w", err)
+	}
+	if magic != "P5" {
+		return nil, fmt.Errorf("imagelib: unsupported PGM magic %q", magic)
+	}
+	w, err := readPGMInt(br)
+	if err != nil {
+		return nil, err
+	}
+	h, err := readPGMInt(br)
+	if err != nil {
+		return nil, err
+	}
+	maxval, err := readPGMInt(br)
+	if err != nil {
+		return nil, err
+	}
+	if maxval != 255 {
+		return nil, fmt.Errorf("imagelib: unsupported PGM maxval %d", maxval)
+	}
+	if w <= 0 || h <= 0 || w*h > 64<<20 {
+		return nil, fmt.Errorf("imagelib: unreasonable PGM size %dx%d", w, h)
+	}
+	// Exactly one whitespace byte separates the header from the pixels.
+	if _, err := br.ReadByte(); err != nil {
+		return nil, fmt.Errorf("imagelib: read PGM separator: %w", err)
+	}
+	out := NewRaster(w, h)
+	if _, err := io.ReadFull(br, out.Pix); err != nil {
+		return nil, fmt.Errorf("imagelib: read PGM pixels: %w", err)
+	}
+	return out, nil
+}
+
+// readPGMInt scans the next decimal token, skipping whitespace and
+// #-comments (the PGM header grammar).
+func readPGMInt(br *bufio.Reader) (int, error) {
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, fmt.Errorf("imagelib: read PGM header: %w", err)
+		}
+		switch {
+		case b == '#':
+			if _, err := br.ReadString('\n'); err != nil {
+				return 0, fmt.Errorf("imagelib: read PGM comment: %w", err)
+			}
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			continue
+		case b >= '0' && b <= '9':
+			v := int(b - '0')
+			for {
+				b, err := br.ReadByte()
+				if err == io.EOF {
+					return v, nil
+				}
+				if err != nil {
+					return 0, fmt.Errorf("imagelib: read PGM header: %w", err)
+				}
+				if b < '0' || b > '9' {
+					if err := br.UnreadByte(); err != nil {
+						return 0, err
+					}
+					return v, nil
+				}
+				v = v*10 + int(b-'0')
+				if v > 1<<30 {
+					return 0, fmt.Errorf("imagelib: PGM header value overflow")
+				}
+			}
+		default:
+			return 0, fmt.Errorf("imagelib: unexpected byte %q in PGM header", b)
+		}
+	}
+}
+
+// SavePGM writes r to a file.
+func SavePGM(path string, r *Raster) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("imagelib: create %s: %w", path, err)
+	}
+	if err := WritePGM(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadPGM reads a raster from a file.
+func LoadPGM(path string) (*Raster, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("imagelib: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadPGM(f)
+}

@@ -1,0 +1,94 @@
+package imagelib
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPGMRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	r := randomRaster(rng, 37, 21)
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, r); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got.W != r.W || got.H != r.H {
+		t.Fatalf("size %dx%d, want %dx%d", got.W, got.H, r.W, r.H)
+	}
+	for i := range r.Pix {
+		if got.Pix[i] != r.Pix[i] {
+			t.Fatalf("pixel %d corrupted", i)
+		}
+	}
+}
+
+func TestPGMFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	r := randomRaster(rng, 16, 16)
+	path := filepath.Join(t.TempDir(), "img.pgm")
+	if err := SavePGM(path, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPGM(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != 16 || got.Pix[5] != r.Pix[5] {
+		t.Fatal("file round trip corrupted")
+	}
+}
+
+func TestPGMReadsComments(t *testing.T) {
+	data := "P5\n# a comment line\n2 2\n# another\n255\n\x01\x02\x03\x04"
+	got, err := ReadPGM(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != 2 || got.H != 2 || got.Pix[3] != 4 {
+		t.Fatalf("parsed wrong: %+v", got)
+	}
+}
+
+func TestPGMRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"P6\n2 2\n255\n....",      // wrong magic
+		"P5\n2 2\n65535\n....",    // unsupported maxval
+		"P5\n0 2\n255\n",          // zero width
+		"P5\n2 2\n255\n\x01",      // truncated pixels
+		"P5\nxx 2\n255\n\x01\x02", // non-numeric header
+	}
+	for _, data := range cases {
+		if _, err := ReadPGM(strings.NewReader(data)); err == nil {
+			t.Fatalf("garbage %q accepted", data)
+		}
+	}
+}
+
+func TestPGMLoadMissingFile(t *testing.T) {
+	if _, err := LoadPGM(filepath.Join(t.TempDir(), "absent.pgm")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestPGMSceneExport(t *testing.T) {
+	r := testScene(300)
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SSIM(r, got) != 1 {
+		t.Fatal("PGM round trip must be lossless")
+	}
+}

@@ -1,0 +1,114 @@
+package imagelib
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDownsampleHalvesSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	r := randomRaster(rng, 64, 48)
+	d := Downsample(r, 32, 24)
+	if d.W != 32 || d.H != 24 {
+		t.Fatalf("Downsample size = %dx%d, want 32x24", d.W, d.H)
+	}
+}
+
+func TestDownsamplePreservesMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	r := randomRaster(rng, 64, 64)
+	d := Downsample(r, 16, 16)
+	if diff := math.Abs(r.Mean() - d.Mean()); diff > 3 {
+		t.Fatalf("area-average downsample shifted mean by %v", diff)
+	}
+}
+
+func TestDownsampleIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	r := randomRaster(rng, 20, 20)
+	d := Downsample(r, 20, 20)
+	for i := range r.Pix {
+		if d.Pix[i] != r.Pix[i] {
+			t.Fatal("identity Downsample changed pixels")
+		}
+	}
+	d.Pix[0]++
+	if d.Pix[0] == r.Pix[0] {
+		t.Fatal("identity Downsample aliases input")
+	}
+}
+
+func TestDownsampleUniform(t *testing.T) {
+	r := NewRaster(30, 30)
+	for i := range r.Pix {
+		r.Pix[i] = 200
+	}
+	d := Downsample(r, 7, 7)
+	for _, p := range d.Pix {
+		if p != 200 {
+			t.Fatalf("uniform image downsample produced %d", p)
+		}
+	}
+}
+
+func TestDownsamplePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Downsample to 0x0 did not panic")
+		}
+	}()
+	Downsample(NewRaster(4, 4), 0, 0)
+}
+
+func TestUpscaleBilinear(t *testing.T) {
+	r := NewRaster(2, 2)
+	r.Pix = []uint8{0, 100, 100, 200}
+	u := Downsample(r, 4, 4) // upscale path
+	if u.W != 4 || u.H != 4 {
+		t.Fatalf("upscale size = %dx%d", u.W, u.H)
+	}
+	if u.Pix[0] != 0 || u.Pix[15] != 200 {
+		t.Fatalf("bilinear corners wrong: %d, %d", u.Pix[0], u.Pix[15])
+	}
+}
+
+func TestCompressBitmapProportion(t *testing.T) {
+	r := NewRaster(100, 80)
+	tests := []struct {
+		c     float64
+		wantW int
+		wantH int
+	}{
+		{0, 100, 80},
+		{-0.5, 100, 80},
+		{0.5, 50, 40},
+		{0.9, 10, 8},
+	}
+	for _, tc := range tests {
+		got := CompressBitmap(r, tc.c)
+		if got.W != tc.wantW || got.H != tc.wantH {
+			t.Errorf("CompressBitmap(c=%v) = %dx%d, want %dx%d", tc.c, got.W, got.H, tc.wantW, tc.wantH)
+		}
+	}
+}
+
+func TestCompressBitmapFloorsAtMinimum(t *testing.T) {
+	r := NewRaster(100, 80)
+	got := CompressBitmap(r, 0.999)
+	if got.W < 8 || got.H < 8 {
+		t.Fatalf("CompressBitmap floor violated: %dx%d", got.W, got.H)
+	}
+}
+
+func TestCompressBitmapReducesPixelsMonotonically(t *testing.T) {
+	r := NewRaster(200, 150)
+	prev := r.Pixels() + 1
+	for c := 0.0; c < 0.95; c += 0.05 {
+		p := CompressBitmap(r, c).Pixels()
+		if p > prev {
+			t.Fatalf("pixel count not monotone at c=%v: %d > %d", c, p, prev)
+		}
+		prev = p
+	}
+}

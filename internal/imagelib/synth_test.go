@@ -1,0 +1,219 @@
+package imagelib
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMotifPoolDeterministic(t *testing.T) {
+	a := NewMotifPool(42, 16, 40)
+	b := NewMotifPool(42, 16, 40)
+	for i := 0; i < 16; i++ {
+		ma, mb := a.Motif(i), b.Motif(i)
+		if ma.Kind != mb.Kind {
+			t.Fatalf("motif %d kind differs across identical pools", i)
+		}
+		for j := range ma.pattern.Pix {
+			if ma.pattern.Pix[j] != mb.pattern.Pix[j] {
+				t.Fatalf("motif %d pattern differs at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestMotifPoolSeedChangesMotifs(t *testing.T) {
+	a := NewMotifPool(1, 8, 40)
+	b := NewMotifPool(2, 8, 40)
+	same := 0
+	for i := 0; i < 8; i++ {
+		diff := false
+		for j := range a.Motif(i).pattern.Pix {
+			if a.Motif(i).pattern.Pix[j] != b.Motif(i).pattern.Pix[j] {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			same++
+		}
+	}
+	if same == 8 {
+		t.Fatal("different seeds produced identical motif pools")
+	}
+}
+
+func TestMotifIndexWraps(t *testing.T) {
+	p := NewMotifPool(3, 5, 40)
+	if p.Motif(7) != p.Motif(2) || p.Motif(-3) != p.Motif(2) {
+		t.Fatal("Motif index does not wrap modulo pool size")
+	}
+}
+
+func TestMotifStampFloor(t *testing.T) {
+	p := NewMotifPool(4, 2, 4)
+	if p.Stamp < 16 {
+		t.Fatalf("stamp floor violated: %d", p.Stamp)
+	}
+}
+
+func TestGenSceneDeterministic(t *testing.T) {
+	pool := NewMotifPool(7, 64, 40)
+	s1 := GenScene(pool, rand.New(rand.NewSource(9)))
+	s2 := GenScene(pool, rand.New(rand.NewSource(9)))
+	if s1.ID != s2.ID || len(s1.Placements) != len(s2.Placements) {
+		t.Fatal("GenScene not deterministic for equal seeds")
+	}
+	for i := range s1.Placements {
+		if s1.Placements[i] != s2.Placements[i] {
+			t.Fatalf("placement %d differs", i)
+		}
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	pool := NewMotifPool(8, 64, 40)
+	s := GenScene(pool, rand.New(rand.NewSource(10)))
+	v := Variant{ShiftX: 3, ShiftY: -2, Brightness: 5, NoiseSigma: 2, Seed: 77}
+	a := s.Render(pool, DefaultW, DefaultH, v)
+	b := s.Render(pool, DefaultW, DefaultH, v)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("Render not deterministic for identical variants")
+		}
+	}
+}
+
+func TestRenderVariantsOfSameSceneAreClose(t *testing.T) {
+	pool := NewMotifPool(11, 64, 40)
+	rng := rand.New(rand.NewSource(12))
+	s := GenScene(pool, rng)
+	ref := s.Render(pool, DefaultW, DefaultH, CanonicalVariant())
+	alt := s.Render(pool, DefaultW, DefaultH, Variant{Brightness: 4, NoiseSigma: 2, Seed: 5})
+	if got := SSIM(ref, alt); got < 0.5 {
+		t.Fatalf("same-scene variants SSIM = %v, want >= 0.5", got)
+	}
+}
+
+func TestRenderDifferentScenesDiffer(t *testing.T) {
+	pool := NewMotifPool(13, 64, 40)
+	rng := rand.New(rand.NewSource(14))
+	a := GenScene(pool, rng).Render(pool, DefaultW, DefaultH, CanonicalVariant())
+	b := GenScene(pool, rng).Render(pool, DefaultW, DefaultH, CanonicalVariant())
+	if got := SSIM(a, b); got > 0.9 {
+		t.Fatalf("different scenes SSIM = %v, should differ", got)
+	}
+}
+
+func TestRenderTranslationShiftsContent(t *testing.T) {
+	pool := NewMotifPool(15, 64, 40)
+	rng := rand.New(rand.NewSource(16))
+	s := GenScene(pool, rng)
+	ref := s.Render(pool, DefaultW, DefaultH, CanonicalVariant())
+	sh := s.Render(pool, DefaultW, DefaultH, Variant{ShiftX: 5, ShiftY: 3})
+	// The shifted render must equal the reference shifted by (5, 3) away
+	// from the borders.
+	mismatch := 0
+	total := 0
+	for y := 20; y < DefaultH-20; y++ {
+		for x := 20; x < DefaultW-20; x++ {
+			total++
+			if sh.At(x, y) != ref.At(x-5, y-3) {
+				mismatch++
+			}
+		}
+	}
+	if frac := float64(mismatch) / float64(total); frac > 0.01 {
+		t.Fatalf("translation mismatch fraction %v, want <= 0.01", frac)
+	}
+}
+
+func TestRandomVariantWithinBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	hard := 0
+	for i := 0; i < 400; i++ {
+		v := RandomVariant(rng)
+		if v.OccludeFrac > 0 {
+			hard++
+			if v.OccludeFrac < 0.55 || v.OccludeFrac > 1.0 {
+				t.Fatalf("hard variant occlusion out of bounds: %+v", v)
+			}
+			if v.ShiftX < -40 || v.ShiftX > 40 || v.ShiftY < -30 || v.ShiftY > 30 {
+				t.Fatalf("hard variant shift out of bounds: %+v", v)
+			}
+			continue
+		}
+		if v.ShiftX < -6 || v.ShiftX > 6 || v.ShiftY < -5 || v.ShiftY > 5 {
+			t.Fatalf("variant shift out of bounds: %+v", v)
+		}
+		if math.Abs(v.Brightness) > 12 {
+			t.Fatalf("variant brightness out of bounds: %+v", v)
+		}
+		if v.NoiseSigma < 2 || v.NoiseSigma > 5 {
+			t.Fatalf("variant noise out of bounds: %+v", v)
+		}
+	}
+	// The hard tail should be roughly 12% of draws.
+	if hard < 20 || hard > 100 {
+		t.Fatalf("hard variant count %d out of expected band", hard)
+	}
+}
+
+func TestOcclusionHidesMotifs(t *testing.T) {
+	pool := NewMotifPool(23, 64, 40)
+	rng := rand.New(rand.NewSource(24))
+	s := GenScene(pool, rng)
+	full := s.Render(pool, DefaultW, DefaultH, CanonicalVariant())
+	occ := s.Render(pool, DefaultW, DefaultH, Variant{OccludeFrac: 0.99, Seed: 1})
+	diff := 0
+	for i := range full.Pix {
+		if full.Pix[i] != occ.Pix[i] {
+			diff++
+		}
+	}
+	// Nearly all motif pixels should revert to background.
+	if diff < full.Pixels()/20 {
+		t.Fatalf("occlusion changed only %d pixels", diff)
+	}
+}
+
+func TestOcclusionDeterministic(t *testing.T) {
+	pool := NewMotifPool(25, 64, 40)
+	rng := rand.New(rand.NewSource(26))
+	s := GenScene(pool, rng)
+	v := Variant{OccludeFrac: 0.5, Seed: 42}
+	a := s.Render(pool, DefaultW, DefaultH, v)
+	b := s.Render(pool, DefaultW, DefaultH, v)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("occlusion not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestSharedMotifsAcrossScenes(t *testing.T) {
+	// With a small pool, two scenes must share at least one motif with
+	// high probability — this is the mechanism behind nonzero similarity
+	// between dissimilar images.
+	pool := NewMotifPool(18, 16, 40)
+	rng := rand.New(rand.NewSource(19))
+	shared := 0
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		a := GenScene(pool, rng)
+		b := GenScene(pool, rng)
+		inA := map[int]bool{}
+		for _, p := range a.Placements {
+			inA[p.MotifID] = true
+		}
+		for _, p := range b.Placements {
+			if inA[p.MotifID] {
+				shared++
+				break
+			}
+		}
+	}
+	if shared < trials/2 {
+		t.Fatalf("scenes rarely share motifs: %d/%d", shared, trials)
+	}
+}

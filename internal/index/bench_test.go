@@ -1,0 +1,35 @@
+package index
+
+import "testing"
+
+func BenchmarkQueryMaxLSH(b *testing.B) {
+	c := newCorpus(b, 60, 900)
+	idx := buildIndex(c)
+	q := c.variantSet(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.QueryMax(q)
+	}
+}
+
+func BenchmarkQueryMaxExhaustive(b *testing.B) {
+	c := newCorpus(b, 60, 901)
+	idx := buildIndex(c)
+	q := c.variantSet(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.ExhaustiveMax(q)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	c := newCorpus(b, 8, 902)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := New(DefaultConfig())
+		for j, s := range c.sets {
+			idx.Add(&Entry{ID: ImageID(j), Set: s})
+		}
+	}
+}

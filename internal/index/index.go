@@ -1,0 +1,269 @@
+// Package index implements the cloud-side similarity index BEES queries
+// for cross-batch redundancy detection (CBRD): a multi-table bit-sampling
+// LSH over 256-bit ORB descriptors generates candidates, which are then
+// re-ranked with the exact Jaccard similarity of Equation 2.
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"bees/internal/features"
+)
+
+// ImageID identifies an image stored in the index.
+type ImageID int64
+
+// Entry is one indexed image: its descriptor set plus the metadata the
+// evaluation uses (dataset group for precision, geotag for coverage).
+type Entry struct {
+	ID      ImageID
+	Set     *features.BinarySet
+	GroupID int64
+	Lat     float64
+	Lon     float64
+}
+
+// Result is one ranked query answer.
+type Result struct {
+	ID         ImageID
+	GroupID    int64
+	Similarity float64
+}
+
+// Config controls the LSH parameters.
+type Config struct {
+	// Tables is the number of independent hash tables.
+	Tables int
+	// BitsPerKey is the number of sampled descriptor bits per key (≤ 32).
+	BitsPerKey int
+	// HammingMax is the exact-match radius used for re-ranking.
+	HammingMax int
+	// CandidateLimit caps the number of images re-ranked exactly.
+	CandidateLimit int
+	// Seed drives the bit sampling.
+	Seed int64
+}
+
+// DefaultConfig returns LSH parameters tuned for 256-bit descriptors with
+// a match radius around DefaultHammingMax: similar descriptors collide in
+// at least one table with high probability, random ones almost never.
+func DefaultConfig() Config {
+	return Config{
+		Tables:         4,
+		BitsPerKey:     16,
+		HammingMax:     features.DefaultHammingMax,
+		CandidateLimit: 24,
+		Seed:           0x1d5,
+	}
+}
+
+// Index is a thread-safe similarity index over descriptor sets.
+type Index struct {
+	mu      sync.RWMutex
+	cfg     Config
+	entries map[ImageID]*Entry
+	tables  []map[uint32][]ImageID
+	bitSel  [][]int
+}
+
+// New creates an empty index with the given configuration.
+func New(cfg Config) *Index {
+	if cfg.Tables <= 0 || cfg.BitsPerKey <= 0 || cfg.BitsPerKey > 32 {
+		panic(fmt.Sprintf("index: invalid config %+v", cfg))
+	}
+	if cfg.CandidateLimit <= 0 {
+		cfg.CandidateLimit = 24
+	}
+	if cfg.HammingMax <= 0 {
+		cfg.HammingMax = features.DefaultHammingMax
+	}
+	idx := &Index{
+		cfg:     cfg,
+		entries: make(map[ImageID]*Entry),
+		tables:  make([]map[uint32][]ImageID, cfg.Tables),
+		bitSel:  make([][]int, cfg.Tables),
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for t := 0; t < cfg.Tables; t++ {
+		idx.tables[t] = make(map[uint32][]ImageID)
+		sel := rng.Perm(256)[:cfg.BitsPerKey]
+		sort.Ints(sel)
+		idx.bitSel[t] = sel
+	}
+	return idx
+}
+
+// Len returns the number of indexed images.
+func (x *Index) Len() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return len(x.entries)
+}
+
+// Add inserts an image. Re-adding an existing ID replaces its metadata
+// but keeps old hash buckets pointing at it, so callers should use fresh
+// IDs (the server layer guarantees this).
+func (x *Index) Add(e *Entry) {
+	if e == nil || e.Set == nil {
+		return
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.entries[e.ID] = e
+	for t := range x.tables {
+		table := x.tables[t]
+		sel := x.bitSel[t]
+		for _, d := range e.Set.Descriptors {
+			key := hashKey(d, sel)
+			bucket := table[key]
+			// The same image often hashes many descriptors into one
+			// bucket; store it once per bucket.
+			if n := len(bucket); n > 0 && bucket[n-1] == e.ID {
+				continue
+			}
+			table[key] = append(bucket, e.ID)
+		}
+	}
+}
+
+// Get returns the entry for id, or nil.
+func (x *Index) Get(id ImageID) *Entry {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.entries[id]
+}
+
+// QueryMax returns the indexed image with the highest Equation-2
+// similarity to the query set, or (nil, 0) when the index is empty or no
+// candidate shares a hash bucket.
+func (x *Index) QueryMax(set *features.BinarySet) (*Entry, float64) {
+	res := x.QueryTopK(set, 1)
+	if len(res) == 0 {
+		return nil, 0
+	}
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.entries[res[0].ID], res[0].Similarity
+}
+
+// QueryTopK returns the k most similar indexed images, ranked by exact
+// Jaccard similarity over the LSH candidate set.
+func (x *Index) QueryTopK(set *features.BinarySet, k int) []Result {
+	if set.Len() == 0 || k <= 0 {
+		return nil
+	}
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	votes := make(map[ImageID]int)
+	for t := range x.tables {
+		table := x.tables[t]
+		sel := x.bitSel[t]
+		for _, d := range set.Descriptors {
+			for _, id := range table[hashKey(d, sel)] {
+				votes[id]++
+			}
+		}
+	}
+	if len(votes) == 0 {
+		return nil
+	}
+	type cand struct {
+		id    ImageID
+		votes int
+	}
+	cands := make([]cand, 0, len(votes))
+	for id, v := range votes {
+		cands = append(cands, cand{id, v})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].votes != cands[j].votes {
+			return cands[i].votes > cands[j].votes
+		}
+		return cands[i].id < cands[j].id
+	})
+	limit := x.cfg.CandidateLimit
+	if k > limit {
+		limit = k
+	}
+	if len(cands) > limit {
+		cands = cands[:limit]
+	}
+	results := make([]Result, 0, len(cands))
+	for _, c := range cands {
+		e := x.entries[c.id]
+		if e == nil {
+			continue
+		}
+		sim := features.JaccardBinary(set, e.Set, x.cfg.HammingMax)
+		if sim <= 0 {
+			// A hash collision with no surviving exact match is not a
+			// retrieval result.
+			continue
+		}
+		results = append(results, Result{ID: e.ID, GroupID: e.GroupID, Similarity: sim})
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Similarity != results[j].Similarity {
+			return results[i].Similarity > results[j].Similarity
+		}
+		return results[i].ID < results[j].ID
+	})
+	if len(results) > k {
+		results = results[:k]
+	}
+	return results
+}
+
+// ExhaustiveMax scans every indexed image with the exact similarity and
+// returns the best match. It is the brute-force baseline the ablation
+// bench compares the LSH path against.
+func (x *Index) ExhaustiveMax(set *features.BinarySet) (*Entry, float64) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	var best *Entry
+	bestSim := 0.0
+	ids := make([]ImageID, 0, len(x.entries))
+	for id := range x.entries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		e := x.entries[id]
+		if sim := features.JaccardBinary(set, e.Set, x.cfg.HammingMax); sim > bestSim {
+			bestSim, best = sim, e
+		}
+	}
+	return best, bestSim
+}
+
+// hashKey samples the selected bits of d into a bucket key.
+func hashKey(d features.Descriptor, sel []int) uint32 {
+	var key uint32
+	for i, b := range sel {
+		key |= uint32(d.Bit(b)) << uint(i)
+	}
+	return key
+}
+
+// ForEach calls fn for every entry in ascending ID order. The entries
+// are shared; callers must not mutate them.
+func (x *Index) ForEach(fn func(*Entry)) {
+	x.mu.RLock()
+	ids := make([]ImageID, 0, len(x.entries))
+	for id := range x.entries {
+		ids = append(ids, id)
+	}
+	x.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		x.mu.RLock()
+		e := x.entries[id]
+		x.mu.RUnlock()
+		if e != nil {
+			fn(e)
+		}
+	}
+}

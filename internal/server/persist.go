@@ -1,0 +1,240 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"bees/internal/features"
+	"bees/internal/index"
+)
+
+// Snapshot persistence: beesd survives restarts by writing the feature
+// index and upload counters to disk. The format is a versioned binary
+// stream: header, counters, then one record per indexed entry
+// (id, group, geotag, optional global histogram, descriptors).
+
+var snapshotMagic = [4]byte{'B', 'E', 'E', 'S'}
+
+const snapshotVersion = 1
+
+// errBadSnapshot reports a corrupt or incompatible snapshot stream.
+var errBadSnapshot = errors.New("server: bad snapshot")
+
+// SaveSnapshot serializes the server state (index entries + counters).
+func (s *Server) SaveSnapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return fmt.Errorf("server: write snapshot: %w", err)
+	}
+	writeU64 := func(v uint64) { binary.Write(bw, binary.LittleEndian, v) }
+	writeU64(snapshotVersion)
+
+	s.mu.Lock()
+	received := s.received
+	nextID := s.nextID
+	uploads := append([]index.ImageID(nil), s.uploads...)
+	metas := append([]UploadMeta(nil), s.metas...)
+	s.mu.Unlock()
+
+	writeU64(uint64(received))
+	writeU64(uint64(nextID))
+
+	// Count entries first (ForEach is ordered and race-free).
+	count := uint64(0)
+	s.idx.ForEach(func(*index.Entry) { count++ })
+	writeU64(count)
+	var saveErr error
+	s.idx.ForEach(func(e *index.Entry) {
+		if saveErr != nil {
+			return
+		}
+		writeU64(uint64(e.ID))
+		writeU64(uint64(e.GroupID))
+		writeU64(math.Float64bits(e.Lat))
+		writeU64(math.Float64bits(e.Lon))
+		writeU64(uint64(e.Set.Len()))
+		for _, d := range e.Set.Descriptors {
+			for _, word := range d {
+				writeU64(word)
+			}
+		}
+	})
+	if saveErr != nil {
+		return saveErr
+	}
+	// Upload history (IDs + metas without globals; globals only matter
+	// for metadata queries of indexed seeds, which reconstruct from the
+	// index on load).
+	writeU64(uint64(len(uploads)))
+	for i, id := range uploads {
+		writeU64(uint64(id))
+		m := metas[i]
+		writeU64(uint64(m.GroupID))
+		writeU64(math.Float64bits(m.Lat))
+		writeU64(math.Float64bits(m.Lon))
+		writeU64(uint64(m.Bytes))
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("server: flush snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot restores server state saved by SaveSnapshot into a fresh
+// server. Loading into a non-empty server returns an error.
+func (s *Server) LoadSnapshot(r io.Reader) error {
+	s.mu.Lock()
+	dirty := len(s.uploads) > 0 || s.nextID != 0
+	s.mu.Unlock()
+	if dirty {
+		return errors.New("server: LoadSnapshot requires a fresh server")
+	}
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("server: read snapshot: %w", err)
+	}
+	if magic != snapshotMagic {
+		return errBadSnapshot
+	}
+	readU64 := func() (uint64, error) {
+		var v uint64
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	version, err := readU64()
+	if err != nil || version != snapshotVersion {
+		return errBadSnapshot
+	}
+	received, err := readU64()
+	if err != nil {
+		return errBadSnapshot
+	}
+	nextID, err := readU64()
+	if err != nil {
+		return errBadSnapshot
+	}
+	count, err := readU64()
+	if err != nil {
+		return errBadSnapshot
+	}
+	for i := uint64(0); i < count; i++ {
+		id, err := readU64()
+		if err != nil {
+			return errBadSnapshot
+		}
+		group, err := readU64()
+		if err != nil {
+			return errBadSnapshot
+		}
+		latBits, err := readU64()
+		if err != nil {
+			return errBadSnapshot
+		}
+		lonBits, err := readU64()
+		if err != nil {
+			return errBadSnapshot
+		}
+		n, err := readU64()
+		if err != nil || n > 1<<20 {
+			return errBadSnapshot
+		}
+		set := &features.BinarySet{Descriptors: make([]features.Descriptor, n)}
+		for j := uint64(0); j < n; j++ {
+			for w := 0; w < 4; w++ {
+				word, err := readU64()
+				if err != nil {
+					return errBadSnapshot
+				}
+				set.Descriptors[j][w] = word
+			}
+		}
+		s.idx.Add(&index.Entry{
+			ID:      index.ImageID(id),
+			Set:     set,
+			GroupID: int64(group),
+			Lat:     math.Float64frombits(latBits),
+			Lon:     math.Float64frombits(lonBits),
+		})
+	}
+	nUploads, err := readU64()
+	if err != nil {
+		return errBadSnapshot
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.received = int64(received)
+	s.nextID = index.ImageID(nextID)
+	for i := uint64(0); i < nUploads; i++ {
+		id, err := readU64()
+		if err != nil {
+			return errBadSnapshot
+		}
+		group, err := readU64()
+		if err != nil {
+			return errBadSnapshot
+		}
+		latBits, err := readU64()
+		if err != nil {
+			return errBadSnapshot
+		}
+		lonBits, err := readU64()
+		if err != nil {
+			return errBadSnapshot
+		}
+		bytes, err := readU64()
+		if err != nil {
+			return errBadSnapshot
+		}
+		s.uploads = append(s.uploads, index.ImageID(id))
+		s.metas = append(s.metas, UploadMeta{
+			GroupID: int64(group),
+			Lat:     math.Float64frombits(latBits),
+			Lon:     math.Float64frombits(lonBits),
+			Bytes:   int(bytes),
+		})
+	}
+	return nil
+}
+
+// SaveSnapshotFile writes a snapshot atomically (temp file + rename).
+func (s *Server) SaveSnapshotFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("server: create snapshot: %w", err)
+	}
+	if err := s.SaveSnapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("server: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("server: commit snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshotFile restores a snapshot from disk; a missing file is not
+// an error (fresh start).
+func (s *Server) LoadSnapshotFile(path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("server: open snapshot: %w", err)
+	}
+	defer f.Close()
+	return s.LoadSnapshot(f)
+}

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	srv := NewDefault()
+	_, sets := batchSets(t, 310, 4)
+	srv.SeedIndex(sets[0], UploadMeta{GroupID: 100})
+	for i := 1; i < 4; i++ {
+		srv.Upload(sets[i], UploadMeta{GroupID: int64(i), Bytes: 100 * i, Lat: float64(i), Lon: -float64(i)})
+	}
+
+	var buf bytes.Buffer
+	if err := srv.SaveSnapshot(&buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+
+	restored := NewDefault()
+	if err := restored.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+
+	// Counters restored.
+	st := restored.Stats()
+	if st.Images != 3 || st.BytesReceived != 600 {
+		t.Fatalf("restored stats: %+v", st)
+	}
+	// Index restored: every uploaded/seeded image is still queryable.
+	for i := 0; i < 4; i++ {
+		if sim := restored.QueryMax(sets[i]); sim < 0.9 {
+			t.Fatalf("image %d not queryable after restore: sim=%v", i, sim)
+		}
+	}
+	// Upload metadata restored (coverage accounting).
+	metas := restored.UploadedMetas()
+	if len(metas) != 3 || metas[0].Lat != 1 || metas[2].Bytes != 300 {
+		t.Fatalf("restored metas: %+v", metas)
+	}
+	// New uploads continue with fresh IDs.
+	id := restored.Upload(sets[0], UploadMeta{GroupID: 9})
+	if int64(id) < 4 {
+		t.Fatalf("restored nextID collides: %d", id)
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	srv := NewDefault()
+	_, sets := batchSets(t, 311, 2)
+	srv.Upload(sets[0], UploadMeta{GroupID: 5, Bytes: 42})
+	path := filepath.Join(t.TempDir(), "state.bees")
+	if err := srv.SaveSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewDefault()
+	if err := restored.LoadSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Stats().Images != 1 {
+		t.Fatal("file round trip lost uploads")
+	}
+}
+
+func TestLoadSnapshotMissingFileIsFreshStart(t *testing.T) {
+	srv := NewDefault()
+	if err := srv.LoadSnapshotFile(filepath.Join(t.TempDir(), "absent")); err != nil {
+		t.Fatalf("missing snapshot should not error: %v", err)
+	}
+	if srv.Stats().Images != 0 {
+		t.Fatal("fresh server should be empty")
+	}
+}
+
+func TestLoadSnapshotRejectsDirtyServer(t *testing.T) {
+	srv := NewDefault()
+	_, sets := batchSets(t, 312, 1)
+	srv.Upload(sets[0], UploadMeta{})
+	var buf bytes.Buffer
+	if err := srv.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.LoadSnapshot(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("loading into a non-empty server should fail")
+	}
+}
+
+func TestLoadSnapshotRejectsGarbage(t *testing.T) {
+	for _, data := range [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("BEESgarbage-after-magic"),
+		append([]byte("BEES"), make([]byte, 8)...), // version 0
+	} {
+		srv := NewDefault()
+		if err := srv.LoadSnapshot(bytes.NewReader(data)); err == nil {
+			t.Fatalf("garbage %q accepted", data)
+		}
+	}
+}
+
+func TestSnapshotEmptyServer(t *testing.T) {
+	srv := NewDefault()
+	var buf bytes.Buffer
+	if err := srv.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewDefault()
+	if err := restored.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Stats().Images != 0 {
+		t.Fatal("empty snapshot should restore empty")
+	}
+}

@@ -1,0 +1,169 @@
+// Package server implements the BEES cloud server: a feature index for
+// redundancy queries plus a blob store for uploaded images. The same
+// implementation backs both the in-process fast path used by the
+// simulations and the TCP endpoint in cmd/beesd (via internal/wire).
+package server
+
+import (
+	"sync"
+
+	"bees/internal/features"
+	"bees/internal/index"
+)
+
+// UploadMeta carries the image metadata the evaluation needs.
+type UploadMeta struct {
+	GroupID int64
+	Lat     float64
+	Lon     float64
+	// Bytes is the uploaded (possibly compressed) file size.
+	Bytes int
+	// Global is an optional global (histogram) descriptor; metadata-based
+	// schemes like PhotoNet query it via QueryNearby.
+	Global *features.GlobalDescriptor
+}
+
+// Stats summarizes server state.
+type Stats struct {
+	Images        int
+	BytesReceived int64
+}
+
+// Server is a thread-safe cloud server.
+type Server struct {
+	mu       sync.Mutex
+	idx      *index.Index
+	nextID   index.ImageID
+	received int64
+	uploads  []index.ImageID
+	metas    []UploadMeta
+	// seedMetas holds metadata of SeedIndex'd images: queryable (they
+	// represent previously-uploaded content) but never counted as
+	// uploads of the experiment under measurement.
+	seedMetas []UploadMeta
+}
+
+// New creates a server with the given index configuration.
+func New(cfg index.Config) *Server {
+	return &Server{idx: index.New(cfg)}
+}
+
+// NewDefault creates a server with the default index configuration.
+func NewDefault() *Server { return New(index.DefaultConfig()) }
+
+// QueryMax is the CBRD primitive: the highest Equation-2 similarity
+// between the query feature set and any stored image (0 when the index
+// is empty).
+func (s *Server) QueryMax(set *features.BinarySet) float64 {
+	_, sim := s.idx.QueryMax(set)
+	return sim
+}
+
+// QueryTopK returns the K most similar stored images.
+func (s *Server) QueryTopK(set *features.BinarySet, k int) []index.Result {
+	return s.idx.QueryTopK(set, k)
+}
+
+// Upload stores an image's features and accounts its bytes, returning the
+// assigned ID. The features become immediately queryable, which is what
+// makes previously-uploaded batches detectable as cross-batch redundancy.
+// A nil feature set (Direct Upload sends no features) stores the image
+// without indexing it.
+func (s *Server) Upload(set *features.BinarySet, meta UploadMeta) index.ImageID {
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID++
+	s.received += int64(meta.Bytes)
+	s.uploads = append(s.uploads, id)
+	s.metas = append(s.metas, meta)
+	s.mu.Unlock()
+	if set != nil {
+		s.idx.Add(&index.Entry{
+			ID:      id,
+			Set:     set,
+			GroupID: meta.GroupID,
+			Lat:     meta.Lat,
+			Lon:     meta.Lon,
+		})
+	}
+	return id
+}
+
+// SeedIndex inserts features without counting upload bytes — used by
+// experiments that pre-populate the server to set a cross-batch
+// redundancy ratio ("by adding the redundant images into the servers").
+func (s *Server) SeedIndex(set *features.BinarySet, meta UploadMeta) index.ImageID {
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID++
+	s.seedMetas = append(s.seedMetas, meta)
+	s.mu.Unlock()
+	s.idx.Add(&index.Entry{
+		ID:      id,
+		Set:     set,
+		GroupID: meta.GroupID,
+		Lat:     meta.Lat,
+		Lon:     meta.Lon,
+	})
+	return id
+}
+
+// Get returns a stored entry by ID.
+func (s *Server) Get(id index.ImageID) *index.Entry { return s.idx.Get(id) }
+
+// Uploads returns the IDs of images received through Upload (not seeds),
+// in arrival order.
+func (s *Server) Uploads() []index.ImageID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]index.ImageID(nil), s.uploads...)
+}
+
+// UploadedMetas returns the metadata of every image received through
+// Upload, in arrival order — the coverage experiment reads geotags from
+// here.
+func (s *Server) UploadedMetas() []UploadMeta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]UploadMeta(nil), s.metas...)
+}
+
+// QueryNearby is the metadata-based redundancy primitive used by
+// PhotoNet-style schemes: among stored images whose geotag lies within
+// radiusDeg (Chebyshev distance in degrees) of (lat, lon) and that carry
+// a global descriptor, it returns the maximum histogram-intersection
+// similarity to g (0 when none qualify).
+func (s *Server) QueryNearby(lat, lon, radiusDeg float64, g features.GlobalDescriptor) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	best := 0.0
+	for _, metas := range [][]UploadMeta{s.metas, s.seedMetas} {
+		for i := range metas {
+			m := &metas[i]
+			if m.Global == nil {
+				continue
+			}
+			if abs(m.Lat-lat) > radiusDeg || abs(m.Lon-lon) > radiusDeg {
+				continue
+			}
+			if sim := m.Global.Intersect(g); sim > best {
+				best = sim
+			}
+		}
+	}
+	return best
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Stats returns upload counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{Images: len(s.uploads), BytesReceived: s.received}
+}

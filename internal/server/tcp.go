@@ -1,0 +1,135 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"bees/internal/wire"
+)
+
+// TCPServer exposes a Server over the wire protocol. One goroutine per
+// connection; requests on a connection are handled sequentially.
+type TCPServer struct {
+	srv *Server
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewTCP wraps a Server for network serving.
+func NewTCP(srv *Server) *TCPServer {
+	return &TCPServer{srv: srv, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds the given address (e.g. "127.0.0.1:0") and starts
+// accepting in a background goroutine. It returns the bound address.
+func (t *TCPServer) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	t.ln = ln
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return ln.Addr(), nil
+}
+
+func (t *TCPServer) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.conns[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.serveConn(conn)
+	}
+}
+
+func (t *TCPServer) serveConn(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.conns, conn)
+		t.mu.Unlock()
+	}()
+	for {
+		msg, err := wire.ReadFrame(conn)
+		if err != nil {
+			return // EOF or broken peer; drop the connection
+		}
+		if err := t.handle(conn, msg); err != nil {
+			log.Printf("beesd: connection error: %v", err)
+			return
+		}
+	}
+}
+
+func (t *TCPServer) handle(conn net.Conn, msg any) error {
+	switch m := msg.(type) {
+	case *wire.QueryRequest:
+		resp := &wire.QueryResponse{MaxSims: make([]float64, len(m.Sets))}
+		for i, set := range m.Sets {
+			resp.MaxSims[i] = t.srv.QueryMax(set)
+		}
+		return wire.WriteFrame(conn, resp)
+	case *wire.UploadRequest:
+		set := m.Set
+		if set.Len() == 0 {
+			set = nil
+		}
+		id := t.srv.Upload(set, UploadMeta{
+			GroupID: m.GroupID,
+			Lat:     m.Lat,
+			Lon:     m.Lon,
+			Bytes:   len(m.Blob),
+		})
+		return wire.WriteFrame(conn, &wire.UploadResponse{ID: int64(id)})
+	case *wire.StatsRequest:
+		st := t.srv.Stats()
+		return wire.WriteFrame(conn, &wire.StatsResponse{
+			Images:        int64(st.Images),
+			BytesReceived: st.BytesReceived,
+		})
+	default:
+		return wire.WriteFrame(conn, &wire.ErrorResponse{
+			Message: fmt.Sprintf("unexpected message %T", msg),
+		})
+	}
+}
+
+// Close stops accepting, closes active connections, and waits for the
+// handler goroutines to exit.
+func (t *TCPServer) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return errors.New("server: already closed")
+	}
+	t.closed = true
+	for conn := range t.conns {
+		conn.Close()
+	}
+	t.mu.Unlock()
+	var err error
+	if t.ln != nil {
+		err = t.ln.Close()
+	}
+	t.wg.Wait()
+	return err
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"bees/internal/baseline"
+	"bees/internal/core"
+)
+
+// quickLifetime is a scaled-down Fig. 9 configuration for tests: group
+// size AND interval shrink 5× together so the screen-to-upload energy
+// ratio of the paper's setup is preserved.
+func quickLifetime() LifetimeConfig {
+	return LifetimeConfig{
+		Seed:       900,
+		Groups:     60,
+		PerGroup:   8,
+		Redundancy: 0.5,
+		Interval:   4 * time.Minute,
+		BitrateBps: 256000,
+		BatteryJ:   6000,
+	}
+}
+
+// quickCoverage is a scaled-down Fig. 12 configuration for tests.
+func quickCoverage() CoverageConfig {
+	return CoverageConfig{
+		Seed:       901,
+		Phones:     3,
+		PerGroup:   8,
+		Images:     400,
+		Locations:  140,
+		Interval:   4 * time.Minute,
+		BitrateBps: 256000,
+		BatteryJ:   2500,
+	}
+}
+
+func TestRunLifetimeDirectBaseline(t *testing.T) {
+	res := RunLifetime(baseline.Direct{}, quickLifetime())
+	if res.Scheme != "Direct Upload" {
+		t.Fatalf("scheme = %q", res.Scheme)
+	}
+	if res.GroupsUploaded == 0 {
+		t.Fatal("no groups uploaded before battery died")
+	}
+	if res.GroupsUploaded >= 40 {
+		t.Fatal("battery never died; config not exhausting")
+	}
+	if res.Lifetime <= 0 {
+		t.Fatal("no lifetime recorded")
+	}
+}
+
+func TestRunLifetimeSeriesMonotone(t *testing.T) {
+	res := RunLifetime(baseline.NewBEES(), quickLifetime())
+	if len(res.Series) < 2 {
+		t.Fatalf("series too short: %d", len(res.Series))
+	}
+	if res.Series[0].Time != 0 || res.Series[0].Ebat != 1 {
+		t.Fatalf("series must start at (0, 1): %+v", res.Series[0])
+	}
+	for i := 1; i < len(res.Series); i++ {
+		if res.Series[i].Time < res.Series[i-1].Time {
+			t.Fatal("time not monotone")
+		}
+		if res.Series[i].Ebat > res.Series[i-1].Ebat+1e-9 {
+			t.Fatal("battery energy increased")
+		}
+	}
+}
+
+// TestFig9LifetimeOrdering asserts the paper's headline Fig. 9 result:
+// Direct < SmartEye < MRC < BEES-EA < BEES in battery lifetime.
+func TestFig9LifetimeOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lifetime ordering run is slow")
+	}
+	cfg := quickLifetime()
+	lifetimes := map[string]int{}
+	for _, s := range []core.Scheme{
+		baseline.Direct{}, baseline.NewSmartEye(), baseline.NewMRC(),
+		baseline.NewBEESEA(), baseline.NewBEES(),
+	} {
+		res := RunLifetime(s, cfg)
+		lifetimes[res.Scheme] = res.GroupsUploaded
+	}
+	t.Logf("groups uploaded: %+v", lifetimes)
+	if !(lifetimes["Direct Upload"] <= lifetimes["SmartEye"] &&
+		lifetimes["SmartEye"] <= lifetimes["MRC"] &&
+		lifetimes["MRC"] < lifetimes["BEES-EA"] &&
+		lifetimes["BEES-EA"] <= lifetimes["BEES"]) {
+		t.Fatalf("lifetime ordering violated: %+v", lifetimes)
+	}
+	// BEES should outlast Direct by a wide margin (paper: +133%).
+	if lifetimes["BEES"] < lifetimes["Direct Upload"]*3/2 {
+		t.Fatalf("BEES lifetime %d not well above Direct %d",
+			lifetimes["BEES"], lifetimes["Direct Upload"])
+	}
+}
+
+func TestRunLifetimePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad lifetime config did not panic")
+		}
+	}()
+	RunLifetime(baseline.Direct{}, LifetimeConfig{})
+}
+
+func TestRunLifetimeDeterministic(t *testing.T) {
+	a := RunLifetime(baseline.NewBEES(), quickLifetime())
+	b := RunLifetime(baseline.NewBEES(), quickLifetime())
+	if a.GroupsUploaded != b.GroupsUploaded || a.Lifetime != b.Lifetime {
+		t.Fatalf("nondeterministic lifetime: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunCoverageDirect(t *testing.T) {
+	res := RunCoverage(baseline.Direct{}, quickCoverage())
+	if res.Uploaded == 0 {
+		t.Fatal("nothing uploaded")
+	}
+	if res.Uploaded > res.TotalImages {
+		t.Fatal("uploaded more than the set")
+	}
+	if res.UniqueLocations == 0 || res.UniqueLocations > res.TotalLocations {
+		t.Fatalf("bad unique locations: %+v", res)
+	}
+}
+
+// TestFig12CoverageOrdering asserts the paper's Fig. 12 result: with the
+// same batteries, BEES uploads more images and covers far more unique
+// locations than Direct Upload.
+func TestFig12CoverageOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coverage run is slow")
+	}
+	cfg := quickCoverage()
+	direct := RunCoverage(baseline.Direct{}, cfg)
+	bees := RunCoverage(baseline.NewBEES(), cfg)
+	t.Logf("direct: %+v", direct)
+	t.Logf("bees:   %+v", bees)
+	if bees.Uploaded <= direct.Uploaded {
+		t.Fatalf("BEES uploaded %d <= Direct %d", bees.Uploaded, direct.Uploaded)
+	}
+	if bees.UniqueLocations <= direct.UniqueLocations {
+		t.Fatalf("BEES locations %d <= Direct %d", bees.UniqueLocations, direct.UniqueLocations)
+	}
+}
+
+func TestRunCoveragePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad coverage config did not panic")
+		}
+	}()
+	RunCoverage(baseline.Direct{}, CoverageConfig{})
+}

@@ -1,0 +1,284 @@
+// Package wire defines the binary protocol between BEES clients and the
+// cloud server: length-prefixed frames carrying feature-batch queries,
+// image uploads and stats requests. The prototype (cmd/beesd, cmd/beesctl)
+// speaks this protocol over TCP; simulations use the server in-process.
+//
+// Frame layout: [u32 payload length][u8 message type][payload].
+// Integers are little-endian. Descriptors travel as raw 32-byte blocks.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"bees/internal/features"
+)
+
+// MsgType identifies a frame's payload.
+type MsgType uint8
+
+// Message types.
+const (
+	MsgQueryRequest MsgType = iota + 1
+	MsgQueryResponse
+	MsgUploadRequest
+	MsgUploadResponse
+	MsgStatsRequest
+	MsgStatsResponse
+	MsgError
+)
+
+// MaxFrameBytes bounds a frame to keep a malformed peer from forcing a
+// huge allocation.
+const MaxFrameBytes = 64 << 20
+
+// ErrFrameTooLarge is returned when a peer announces an oversized frame.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrameBytes")
+
+// QueryRequest asks for the maximum stored similarity of each feature set.
+type QueryRequest struct {
+	Sets []*features.BinarySet
+}
+
+// QueryResponse returns one similarity per queried set, in order.
+type QueryResponse struct {
+	MaxSims []float64
+}
+
+// UploadRequest stores one image: its features, metadata, and payload.
+type UploadRequest struct {
+	Set     *features.BinarySet
+	GroupID int64
+	Lat     float64
+	Lon     float64
+	// Blob is the (compressed) image payload. Only its bytes matter to
+	// the server's accounting; the prototype ships the real payload to
+	// exercise the transport.
+	Blob []byte
+}
+
+// UploadResponse acknowledges an upload with the assigned image ID.
+type UploadResponse struct {
+	ID int64
+}
+
+// StatsRequest asks for server counters.
+type StatsRequest struct{}
+
+// StatsResponse carries server counters.
+type StatsResponse struct {
+	Images        int64
+	BytesReceived int64
+}
+
+// ErrorResponse reports a server-side failure.
+type ErrorResponse struct {
+	Message string
+}
+
+// WriteFrame encodes a message and writes one frame.
+func WriteFrame(w io.Writer, msg any) error {
+	var typ MsgType
+	var payload []byte
+	switch m := msg.(type) {
+	case *QueryRequest:
+		typ, payload = MsgQueryRequest, encodeQueryRequest(m)
+	case *QueryResponse:
+		typ, payload = MsgQueryResponse, encodeQueryResponse(m)
+	case *UploadRequest:
+		typ, payload = MsgUploadRequest, encodeUploadRequest(m)
+	case *UploadResponse:
+		typ, payload = MsgUploadResponse, encodeU64(uint64(m.ID))
+	case *StatsRequest:
+		typ, payload = MsgStatsRequest, nil
+	case *StatsResponse:
+		typ = MsgStatsResponse
+		payload = append(encodeU64(uint64(m.Images)), encodeU64(uint64(m.BytesReceived))...)
+	case *ErrorResponse:
+		typ, payload = MsgError, []byte(m.Message)
+	default:
+		return fmt.Errorf("wire: cannot encode %T", msg)
+	}
+	header := make([]byte, 5)
+	binary.LittleEndian.PutUint32(header, uint32(len(payload)))
+	header[4] = byte(typ)
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return fmt.Errorf("wire: write payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame and decodes its message.
+func ReadFrame(r io.Reader) (any, error) {
+	header := make([]byte, 5)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(header)
+	if n > MaxFrameBytes {
+		return nil, ErrFrameTooLarge
+	}
+	typ := MsgType(header[4])
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("wire: read payload: %w", err)
+	}
+	switch typ {
+	case MsgQueryRequest:
+		return decodeQueryRequest(payload)
+	case MsgQueryResponse:
+		return decodeQueryResponse(payload)
+	case MsgUploadRequest:
+		return decodeUploadRequest(payload)
+	case MsgUploadResponse:
+		if len(payload) != 8 {
+			return nil, errors.New("wire: bad upload response")
+		}
+		return &UploadResponse{ID: int64(binary.LittleEndian.Uint64(payload))}, nil
+	case MsgStatsRequest:
+		return &StatsRequest{}, nil
+	case MsgStatsResponse:
+		if len(payload) != 16 {
+			return nil, errors.New("wire: bad stats response")
+		}
+		return &StatsResponse{
+			Images:        int64(binary.LittleEndian.Uint64(payload)),
+			BytesReceived: int64(binary.LittleEndian.Uint64(payload[8:])),
+		}, nil
+	case MsgError:
+		return &ErrorResponse{Message: string(payload)}, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown message type %d", typ)
+	}
+}
+
+func encodeU64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func encodeSet(buf []byte, set *features.BinarySet) []byte {
+	n := set.Len()
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	for _, d := range set.Descriptors {
+		for _, w := range d {
+			buf = binary.LittleEndian.AppendUint64(buf, w)
+		}
+	}
+	return buf
+}
+
+func decodeSet(payload []byte) (*features.BinarySet, []byte, error) {
+	if len(payload) < 4 {
+		return nil, nil, errors.New("wire: truncated set header")
+	}
+	n := int(binary.LittleEndian.Uint32(payload))
+	payload = payload[4:]
+	if len(payload) < n*32 {
+		return nil, nil, errors.New("wire: truncated descriptors")
+	}
+	set := &features.BinarySet{Descriptors: make([]features.Descriptor, n)}
+	for i := 0; i < n; i++ {
+		for w := 0; w < 4; w++ {
+			set.Descriptors[i][w] = binary.LittleEndian.Uint64(payload[i*32+w*8:])
+		}
+	}
+	return set, payload[n*32:], nil
+}
+
+func encodeQueryRequest(m *QueryRequest) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(m.Sets)))
+	for _, s := range m.Sets {
+		buf = encodeSet(buf, s)
+	}
+	return buf
+}
+
+func decodeQueryRequest(payload []byte) (*QueryRequest, error) {
+	if len(payload) < 4 {
+		return nil, errors.New("wire: truncated query request")
+	}
+	n := int(binary.LittleEndian.Uint32(payload))
+	payload = payload[4:]
+	req := &QueryRequest{Sets: make([]*features.BinarySet, 0, n)}
+	for i := 0; i < n; i++ {
+		set, rest, err := decodeSet(payload)
+		if err != nil {
+			return nil, err
+		}
+		req.Sets = append(req.Sets, set)
+		payload = rest
+	}
+	return req, nil
+}
+
+func encodeQueryResponse(m *QueryResponse) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(m.MaxSims)))
+	for _, s := range m.MaxSims {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s))
+	}
+	return buf
+}
+
+func decodeQueryResponse(payload []byte) (*QueryResponse, error) {
+	if len(payload) < 4 {
+		return nil, errors.New("wire: truncated query response")
+	}
+	n := int(binary.LittleEndian.Uint32(payload))
+	if len(payload) < 4+8*n {
+		return nil, errors.New("wire: truncated similarities")
+	}
+	resp := &QueryResponse{MaxSims: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		resp.MaxSims[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[4+8*i:]))
+	}
+	return resp, nil
+}
+
+func encodeUploadRequest(m *UploadRequest) []byte {
+	buf := encodeU64(uint64(m.GroupID))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.Lat))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.Lon))
+	set := m.Set
+	if set == nil {
+		set = &features.BinarySet{}
+	}
+	buf = encodeSet(buf, set)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Blob)))
+	return append(buf, m.Blob...)
+}
+
+func decodeUploadRequest(payload []byte) (*UploadRequest, error) {
+	if len(payload) < 24 {
+		return nil, errors.New("wire: truncated upload request")
+	}
+	req := &UploadRequest{
+		GroupID: int64(binary.LittleEndian.Uint64(payload)),
+		Lat:     math.Float64frombits(binary.LittleEndian.Uint64(payload[8:])),
+		Lon:     math.Float64frombits(binary.LittleEndian.Uint64(payload[16:])),
+	}
+	set, rest, err := decodeSet(payload[24:])
+	if err != nil {
+		return nil, err
+	}
+	req.Set = set
+	if len(rest) < 4 {
+		return nil, errors.New("wire: truncated blob header")
+	}
+	blobLen := int(binary.LittleEndian.Uint32(rest))
+	rest = rest[4:]
+	if len(rest) != blobLen {
+		return nil, errors.New("wire: blob length mismatch")
+	}
+	req.Blob = rest
+	return req, nil
+}

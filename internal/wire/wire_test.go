@@ -1,0 +1,234 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"bees/internal/features"
+)
+
+func randomSet(rng *rand.Rand, n int) *features.BinarySet {
+	s := &features.BinarySet{Descriptors: make([]features.Descriptor, n)}
+	for i := range s.Descriptors {
+		for w := 0; w < 4; w++ {
+			s.Descriptors[i][w] = rng.Uint64()
+		}
+	}
+	return s
+}
+
+func roundTrip(t *testing.T, msg any) any {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, msg); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	out, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	return out
+}
+
+func TestQueryRequestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	req := &QueryRequest{Sets: []*features.BinarySet{
+		randomSet(rng, 3), randomSet(rng, 0), randomSet(rng, 7),
+	}}
+	got := roundTrip(t, req).(*QueryRequest)
+	if len(got.Sets) != 3 {
+		t.Fatalf("got %d sets", len(got.Sets))
+	}
+	for i, s := range got.Sets {
+		if s.Len() != req.Sets[i].Len() {
+			t.Fatalf("set %d length mismatch", i)
+		}
+		for j := range s.Descriptors {
+			if s.Descriptors[j] != req.Sets[i].Descriptors[j] {
+				t.Fatalf("descriptor (%d,%d) corrupted", i, j)
+			}
+		}
+	}
+}
+
+func TestQueryResponseRoundTrip(t *testing.T) {
+	resp := &QueryResponse{MaxSims: []float64{0, 0.5, 1, 0.0133}}
+	got := roundTrip(t, resp).(*QueryResponse)
+	if len(got.MaxSims) != 4 {
+		t.Fatalf("got %d sims", len(got.MaxSims))
+	}
+	for i := range got.MaxSims {
+		if got.MaxSims[i] != resp.MaxSims[i] {
+			t.Fatalf("sim %d corrupted: %v", i, got.MaxSims[i])
+		}
+	}
+}
+
+func TestUploadRequestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	req := &UploadRequest{
+		Set:     randomSet(rng, 5),
+		GroupID: -42,
+		Lat:     48.8566,
+		Lon:     2.3522,
+		Blob:    []byte("compressed image payload"),
+	}
+	got := roundTrip(t, req).(*UploadRequest)
+	if got.GroupID != -42 || got.Lat != 48.8566 || got.Lon != 2.3522 {
+		t.Fatalf("metadata corrupted: %+v", got)
+	}
+	if !bytes.Equal(got.Blob, req.Blob) {
+		t.Fatal("blob corrupted")
+	}
+	if got.Set.Len() != 5 {
+		t.Fatal("set corrupted")
+	}
+}
+
+func TestUploadRequestNilSet(t *testing.T) {
+	req := &UploadRequest{GroupID: 1, Blob: []byte{1, 2, 3}}
+	got := roundTrip(t, req).(*UploadRequest)
+	if got.Set.Len() != 0 {
+		t.Fatal("nil set should decode empty")
+	}
+	if len(got.Blob) != 3 {
+		t.Fatal("blob lost")
+	}
+}
+
+func TestUploadResponseRoundTrip(t *testing.T) {
+	got := roundTrip(t, &UploadResponse{ID: 123456789}).(*UploadResponse)
+	if got.ID != 123456789 {
+		t.Fatalf("ID = %d", got.ID)
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	if _, ok := roundTrip(t, &StatsRequest{}).(*StatsRequest); !ok {
+		t.Fatal("stats request corrupted")
+	}
+	got := roundTrip(t, &StatsResponse{Images: 5, BytesReceived: 99}).(*StatsResponse)
+	if got.Images != 5 || got.BytesReceived != 99 {
+		t.Fatalf("stats corrupted: %+v", got)
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	got := roundTrip(t, &ErrorResponse{Message: "boom"}).(*ErrorResponse)
+	if got.Message != "boom" {
+		t.Fatalf("message = %q", got.Message)
+	}
+}
+
+func TestWriteFrameRejectsUnknownType(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, "not a message"); err == nil {
+		t.Fatal("unknown type should error")
+	}
+}
+
+func TestReadFrameRejectsOversized(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, byte(MsgQueryRequest)})
+	if _, err := ReadFrame(&buf); err != ErrFrameTooLarge {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{10, 0, 0, 0, byte(MsgQueryRequest), 1, 2})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("truncated payload should error")
+	}
+}
+
+func TestReadFrameUnknownType(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0, 0xEE})
+	_, err := ReadFrame(&buf)
+	if err == nil || !strings.Contains(err.Error(), "unknown message type") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDecodeCorruptSet(t *testing.T) {
+	// Announce 10 descriptors but provide none.
+	var buf bytes.Buffer
+	payload := []byte{1, 0, 0, 0 /* one set */, 10, 0, 0, 0 /* 10 descriptors */}
+	header := []byte{byte(len(payload)), 0, 0, 0, byte(MsgQueryRequest)}
+	buf.Write(header)
+	buf.Write(payload)
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("corrupt set should error")
+	}
+}
+
+func TestMultipleFramesSequential(t *testing.T) {
+	var buf bytes.Buffer
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5; i++ {
+		if err := WriteFrame(&buf, &QueryRequest{Sets: []*features.BinarySet{randomSet(rng, i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		msg, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got := msg.(*QueryRequest).Sets[0].Len(); got != i {
+			t.Fatalf("frame %d has %d descriptors", i, got)
+		}
+	}
+}
+
+// TestReadFrameNeverPanicsOnRandomBytes feeds random garbage to the
+// decoder: errors are fine, panics are not.
+func TestReadFrameNeverPanicsOnRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(200)
+		data := make([]byte, n)
+		rng.Read(data)
+		// Bound the announced length so ReadFrame does not legitimately
+		// wait for gigabytes: cap the first 4 bytes.
+		if n >= 4 {
+			data[2], data[3] = 0, 0
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %x: %v", data, r)
+				}
+			}()
+			ReadFrame(bytes.NewReader(data))
+		}()
+	}
+}
+
+// TestDecodeTruncatedAtEveryByte checks a valid frame truncated at every
+// possible offset errors cleanly.
+func TestDecodeTruncatedAtEveryByte(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	var buf bytes.Buffer
+	req := &UploadRequest{
+		Set:     randomSet(rng, 3),
+		GroupID: 7,
+		Blob:    []byte("payload"),
+	}
+	if err := WriteFrame(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := ReadFrame(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(full))
+		}
+	}
+	if _, err := ReadFrame(bytes.NewReader(full)); err != nil {
+		t.Fatalf("full frame rejected: %v", err)
+	}
+}
