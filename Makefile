@@ -1,0 +1,26 @@
+# BEES build/verify entry points.
+#
+# tier1 is the seed gate every PR must keep green; tier2 adds vet and the
+# race detector over the whole tree (the wire path's chaos tests rely on
+# it to prove the client/server are race-clean).
+
+GO ?= go
+
+.PHONY: all build tier1 tier2 fuzz
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+tier1: build
+	$(GO) test ./...
+
+tier2:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Short fuzz burst over the wire decoder (seed corpus always runs as part
+# of tier1; this explores beyond it).
+fuzz:
+	$(GO) test ./internal/wire -fuzz FuzzReadFrame -fuzztime 30s

@@ -6,7 +6,7 @@
 //
 //	beesctl [-addr 127.0.0.1:7700] [-scheme bees|bees-ea|direct|smarteye|mrc]
 //	        [-batch 100] [-inbatch 10] [-seed 1] [-ebat 1.0] [-bitrate 256000]
-//	        [-repeat 1]
+//	        [-repeat 1] [-timeout 10s] [-retries 3]
 //
 // Repeating the same seed demonstrates cross-batch elimination: the
 // second run finds the first run's images in the server index.
@@ -45,6 +45,8 @@ func run() error {
 		bitrate = flag.Float64("bitrate", 256000, "uplink bitrate (bps)")
 		gilbert = flag.Bool("gilbert", false, "bursty Gilbert-Elliott link (good=bitrate, bad=bitrate/8)")
 		repeat  = flag.Int("repeat", 1, "number of batches to upload")
+		timeout = flag.Duration("timeout", 10*time.Second, "per-request deadline")
+		retries = flag.Int("retries", 3, "retries per failed request (fresh connection each)")
 	)
 	flag.Parse()
 
@@ -52,7 +54,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	c, err := client.Dial(*addr, 5*time.Second)
+	c, err := client.DialOptions(*addr, client.Options{
+		DialTimeout:    5 * time.Second,
+		RequestTimeout: *timeout,
+		MaxRetries:     *retries,
+	})
 	if err != nil {
 		return err
 	}
@@ -77,6 +83,12 @@ func run() error {
 		fmt.Printf("  energy: %.1f J, delay: %.1fs (%.2fs/image), battery now %.1f%%\n",
 			r.Energy.Total(), r.Delay.Seconds(), r.AvgDelayPerImage().Seconds(),
 			100*r.EbatAfter)
+		if r.Degraded > 0 {
+			fmt.Printf("  degraded: %d requests exhausted their retries\n", r.Degraded)
+		}
+	}
+	if m := c.Metrics(); m.Retries > 0 || m.Redials > 0 {
+		fmt.Printf("transport: %d retries, %d redials\n", m.Retries, m.Redials)
 	}
 	if err := remote.Err(); err != nil {
 		return fmt.Errorf("transport errors occurred, last: %w", err)

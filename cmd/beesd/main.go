@@ -5,6 +5,7 @@
 // Usage:
 //
 //	beesd [-addr 127.0.0.1:7700] [-state /path/to/state.bees]
+//	      [-idle-timeout 2m] [-max-conns 256]
 //
 // With -state, the server restores its index from the snapshot at
 // startup and writes it back on shutdown, so redundancy detection
@@ -18,6 +19,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"bees/internal/server"
 )
@@ -33,6 +35,8 @@ func main() {
 func run() error {
 	addr := flag.String("addr", "127.0.0.1:7700", "listen address")
 	state := flag.String("state", "", "snapshot file (restored on start, saved on shutdown)")
+	idle := flag.Duration("idle-timeout", 2*time.Minute, "drop connections idle (or stalled mid-frame) this long")
+	maxConns := flag.Int("max-conns", 256, "maximum simultaneous connections")
 	flag.Parse()
 
 	srv := server.NewDefault()
@@ -44,7 +48,10 @@ func run() error {
 			fmt.Printf("restored %d images from %s\n", st.Images, *state)
 		}
 	}
-	tcp := server.NewTCP(srv)
+	tcp := server.NewTCPConfig(srv, server.TCPConfig{
+		IdleTimeout: *idle,
+		MaxConns:    *maxConns,
+	})
 	bound, err := tcp.Listen(*addr)
 	if err != nil {
 		return err

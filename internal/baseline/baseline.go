@@ -56,7 +56,7 @@ func (Direct) ProcessBatch(dev *core.Device, srv core.ServerAPI, batch []*datase
 		report.Uploaded++
 		img.Free()
 	}
-	acct.Finish(dev, &report)
+	acct.Finish(dev, srv, &report)
 	return report
 }
 
@@ -96,7 +96,7 @@ func (s SmartEye) ProcessBatch(dev *core.Device, srv core.ServerAPI, batch []*da
 	}
 	dev.Transmit(report.FeatureBytes, energy.CatFeatureTx)
 	uploadSurvivors(dev, srv, batch, orbSets, &report)
-	acct.Finish(dev, &report)
+	acct.Finish(dev, srv, &report)
 	return report
 }
 
@@ -158,7 +158,7 @@ func (m MRC) ProcessBatch(dev *core.Device, srv core.ServerAPI, batch []*dataset
 	dev.Transmit(report.FeatureBytes, energy.CatFeatureTx)
 	dev.Transmit(report.FeedbackBytes, energy.CatFeatureTx)
 	uploadSurvivors(dev, srv, batch, orbSets, &report)
-	acct.Finish(dev, &report)
+	acct.Finish(dev, srv, &report)
 	return report
 }
 

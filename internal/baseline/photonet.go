@@ -99,6 +99,6 @@ func (p PhotoNet) ProcessBatch(dev *core.Device, srv core.ServerAPI, batch []*da
 		report.Uploaded++
 		img.Free()
 	}
-	acct.Finish(dev, &report)
+	acct.Finish(dev, srv, &report)
 	return report
 }

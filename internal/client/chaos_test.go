@@ -1,0 +1,134 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"bees/internal/baseline"
+	"bees/internal/core"
+	"bees/internal/dataset"
+	"bees/internal/energy"
+	"bees/internal/netsim"
+)
+
+// chaosClient dials srv through a seeded fault-injecting link: latency,
+// stalls longer than the request deadline, mid-frame resets via chunked
+// partial writes. Probabilities are per chunk, so they are calibrated
+// low — an upload frame is hundreds of chunks.
+func chaosClient(t *testing.T, addr string, seed int64) *Client {
+	t.Helper()
+	c, err := DialOptions(addr, Options{
+		DialTimeout:    2 * time.Second,
+		RequestTimeout: 500 * time.Millisecond,
+		MaxRetries:     12,
+		BackoffBase:    2 * time.Millisecond,
+		BackoffMax:     20 * time.Millisecond,
+		Seed:           seed,
+		Dial: netsim.FaultyDialer(netsim.FaultConfig{
+			Seed:          seed,
+			Latency:       200 * time.Microsecond,
+			LatencyJitter: time.Millisecond,
+			StallProb:     0.0005,
+			StallFor:      700 * time.Millisecond, // beyond the deadline
+			ResetProb:     0.002,
+			MaxWriteChunk: 4096,
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestChaosPipelineCompletes drives the full BEES pipeline through
+// RemoteServer over the flaky link. Every batch must complete with zero
+// degradations (the retry budget absorbs the faults) and the server-side
+// accounting must match the report exactly — which it can only do if
+// retried uploads are deduplicated rather than double-counted.
+func TestChaosPipelineCompletes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run takes a few seconds")
+	}
+	srv, addr := startServer(t)
+	c := chaosClient(t, addr, 1)
+	remote := NewRemoteServer(c)
+	dev := core.NewDevice(nil, netsim.NewLink(256000), energy.DefaultModel())
+	scheme := baseline.NewBEES()
+
+	totalUploaded, totalImageBytes := 0, 0
+	for batch := 0; batch < 3; batch++ {
+		d := dataset.NewDisasterBatch(900+int64(batch), 12, 3, 0)
+		r := scheme.ProcessBatch(dev, remote, d.Batch)
+		if r.Degraded != 0 {
+			t.Fatalf("batch %d: %d requests degraded; retry budget should absorb the faults (last err: %v)",
+				batch, r.Degraded, remote.Err())
+		}
+		totalUploaded += r.Uploaded
+		totalImageBytes += r.ImageBytes
+	}
+	if err := remote.Err(); err != nil {
+		t.Fatalf("transport errors leaked through: %v", err)
+	}
+
+	st := srv.Stats()
+	if st.Images != totalUploaded {
+		t.Fatalf("server stored %d images, reports say %d — retried uploads double-counted or lost",
+			st.Images, totalUploaded)
+	}
+	if st.BytesReceived != int64(totalImageBytes) {
+		t.Fatalf("server received %d bytes, reports say %d", st.BytesReceived, totalImageBytes)
+	}
+	if m := c.Metrics(); m.Retries == 0 {
+		t.Fatal("fault link injected nothing; chaos test proved nothing — raise fault rates")
+	} else {
+		t.Logf("chaos survived: %d retries, %d redials", m.Retries, m.Redials)
+	}
+}
+
+// TestChaosDegradesWhenLinkIsDead checks the other side of the budget:
+// when every attempt fails, the pipeline still completes — degraded, not
+// wedged — and the report counts every degradation.
+func TestChaosDegradesWhenLinkIsDead(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := DialOptions(addr, Options{
+		RequestTimeout: 200 * time.Millisecond,
+		MaxRetries:     2,
+		BackoffBase:    time.Millisecond,
+		BackoffMax:     2 * time.Millisecond,
+		Seed:           1,
+		Dial: netsim.FaultyDialer(netsim.FaultConfig{
+			Seed:      1,
+			ResetProb: 1, // every I/O kills the connection
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	remote := NewRemoteServer(c)
+	dev := core.NewDevice(nil, netsim.NewLink(256000), energy.DefaultModel())
+	scheme := baseline.NewBEES()
+
+	done := make(chan core.BatchReport, 1)
+	go func() {
+		d := dataset.NewDisasterBatch(950, 4, 0, 0)
+		done <- scheme.ProcessBatch(dev, remote, d.Batch)
+	}()
+	var r core.BatchReport
+	select {
+	case r = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("pipeline wedged on a dead link")
+	}
+	if r.Total != 4 {
+		t.Fatalf("batch did not complete: %+v", r)
+	}
+	// Every query (one per image) and every attempted upload degraded.
+	if want := r.Total + r.Uploaded; r.Degraded != want {
+		t.Fatalf("Degraded = %d, want %d", r.Degraded, want)
+	}
+	if remote.Err() == nil {
+		t.Fatal("Err should report the dead link")
+	}
+}

@@ -2,49 +2,310 @@
 // thin RPC wrapper over the wire protocol used by cmd/beesctl and by the
 // prototype integration tests. Simulations bypass it and call the server
 // in-process.
+//
+// The client is built for the paper's disaster network — a shaped
+// 0–512 Kbps link where stalls, resets and partial writes are routine.
+// Every request runs under a deadline, failed requests are retried with
+// exponential backoff and jitter over a freshly dialed connection, and
+// uploads carry a nonce so a retry can never be double-counted by the
+// server. Close always returns promptly, even while a request is blocked
+// on an unresponsive peer.
 package client
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bees/internal/features"
 	"bees/internal/wire"
 )
 
+// ErrClosed is returned by requests issued on (or interrupted by) a
+// closed client.
+var ErrClosed = errors.New("client: closed")
+
+// DialFunc opens a transport connection. Tests substitute fault-injecting
+// dialers (netsim.FaultyDialer) to exercise the retry machinery.
+type DialFunc func(addr string, timeout time.Duration) (net.Conn, error)
+
+// Options tunes the client's fault-tolerance behaviour. The zero value
+// selects the defaults documented per field.
+type Options struct {
+	// DialTimeout bounds each connection attempt. Default 5s.
+	DialTimeout time.Duration
+	// RequestTimeout is the per-attempt deadline covering the request
+	// write and the response read. Default 10s.
+	RequestTimeout time.Duration
+	// MaxRetries is how many times a failed request is retried (on a
+	// fresh connection) before the error is surfaced, so a request makes
+	// at most MaxRetries+1 attempts. Negative disables retries. Default 3.
+	MaxRetries int
+	// BackoffBase is the sleep before the first retry; each further retry
+	// doubles it, capped at BackoffMax, with ±50% jitter. Defaults 50ms
+	// and 2s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed fixes the jitter and nonce RNG for reproducible tests; 0 draws
+	// a random seed.
+	Seed int64
+	// Dial replaces net.DialTimeout, e.g. with a fault-injecting link.
+	Dial DialFunc
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 10 * time.Second
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = rand.Int63()
+	}
+	if o.Dial == nil {
+		o.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	return o
+}
+
+// DefaultOptions returns the default fault-tolerance settings, with
+// MaxRetries as documented on Options.
+func DefaultOptions() Options {
+	o := Options{MaxRetries: 3}
+	return o.withDefaults()
+}
+
+// Metrics counts the client's fault-tolerance activity.
+type Metrics struct {
+	// Retries is how many request attempts were repeated after a failure.
+	Retries int64
+	// Redials is how many connections were established after the first.
+	Redials int64
+}
+
 // Client is a connection to a beesd server. Methods are safe for
 // concurrent use; requests serialize over the single connection.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
+	addr string
+	opts Options
+
+	// reqMu serializes round trips (one request/response in flight).
+	reqMu sync.Mutex
+	rng   *rand.Rand // jitter + nonces; guarded by reqMu
+
+	// stateMu guards conn/closed only; it is never held across I/O, so
+	// Close can always acquire it and unblock a stuck reader.
+	stateMu sync.Mutex
+	conn    net.Conn
+	closed  bool
+	// closeCh is closed by Close to cut backoff sleeps short.
+	closeCh chan struct{}
+
+	dials   atomic.Int64
+	retries atomic.Int64
 }
 
-// Dial connects to a beesd server.
+// Dial connects to a beesd server with default fault tolerance; timeout
+// bounds the initial connection attempt.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
-	if err != nil {
-		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
-	}
-	return &Client{conn: conn}, nil
+	opts := Options{MaxRetries: 3}
+	opts.DialTimeout = timeout
+	return DialOptions(addr, opts)
 }
 
-// roundTrip writes one frame and reads one response frame.
-func (c *Client) roundTrip(req any) (any, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := wire.WriteFrame(c.conn, req); err != nil {
+// DialOptions connects to a beesd server with explicit fault-tolerance
+// settings. The initial connection is established eagerly so an
+// unreachable server fails fast.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	opts = opts.withDefaults()
+	c := &Client{
+		addr:    addr,
+		opts:    opts,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		closeCh: make(chan struct{}),
+	}
+	conn, err := c.dial()
+	if err != nil {
 		return nil, err
 	}
-	resp, err := wire.ReadFrame(c.conn)
+	c.stateMu.Lock()
+	c.conn = conn
+	c.stateMu.Unlock()
+	return c, nil
+}
+
+func (c *Client) dial() (net.Conn, error) {
+	conn, err := c.opts.Dial(c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", c.addr, err)
+	}
+	c.dials.Add(1)
+	return conn, nil
+}
+
+// Metrics returns a snapshot of the retry/redial counters.
+func (c *Client) Metrics() Metrics {
+	return Metrics{
+		Retries: c.retries.Load(),
+		Redials: max64(c.dials.Load()-1, 0),
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// serverError marks a failure the server itself reported: the transport
+// worked, so retrying the same request is pointless.
+type serverError struct{ msg string }
+
+func (e *serverError) Error() string { return "client: server error: " + e.msg }
+
+// ensureConn returns the live connection, dialing a fresh one if the
+// previous attempt tore it down.
+func (c *Client) ensureConn() (net.Conn, error) {
+	c.stateMu.Lock()
+	if c.closed {
+		c.stateMu.Unlock()
+		return nil, ErrClosed
+	}
+	if conn := c.conn; conn != nil {
+		c.stateMu.Unlock()
+		return conn, nil
+	}
+	c.stateMu.Unlock()
+
+	conn, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	c.stateMu.Lock()
+	if c.closed {
+		c.stateMu.Unlock()
+		conn.Close()
+		return nil, ErrClosed
+	}
+	c.conn = conn
+	c.stateMu.Unlock()
+	return conn, nil
+}
+
+// dropConn discards a connection after a failed attempt so the next
+// attempt starts from a clean stream (a partial write or desynchronized
+// read makes the old one unusable).
+func (c *Client) dropConn(conn net.Conn) {
+	conn.Close()
+	c.stateMu.Lock()
+	if c.conn == conn {
+		c.conn = nil
+	}
+	c.stateMu.Unlock()
+}
+
+// backoff sleeps before retry number n (1-based) or returns ErrClosed if
+// the client is closed first.
+func (c *Client) backoff(n int) error {
+	d := c.opts.BackoffBase << (n - 1)
+	if d > c.opts.BackoffMax || d <= 0 {
+		d = c.opts.BackoffMax
+	}
+	// ±50% jitter keeps a fleet of disaster phones from retrying in sync.
+	d = d/2 + time.Duration(c.rng.Int63n(int64(d)))
+	select {
+	case <-time.After(d):
+		return nil
+	case <-c.closeCh:
+		return ErrClosed
+	}
+}
+
+// roundTrip writes one frame and reads one response frame, retrying over
+// fresh connections until the retry budget is spent.
+func (c *Client) roundTrip(req any) (any, error) {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			if err := c.backoff(attempt); err != nil {
+				return nil, err
+			}
+			c.retries.Add(1)
+		}
+		conn, err := c.ensureConn()
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		resp, err := c.attempt(conn, req)
+		if err == nil {
+			return resp, nil
+		}
+		var se *serverError
+		if errors.As(err, &se) {
+			// The exchange succeeded; the server rejected the request.
+			return nil, err
+		}
+		if errors.Is(err, wire.ErrUnencodable) {
+			// Nothing hit the wire; the connection is still good and a
+			// retry would fail identically.
+			return nil, err
+		}
+		c.dropConn(conn)
+		if c.isClosed() {
+			return nil, ErrClosed
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("client: request failed after %d attempts: %w",
+		c.opts.MaxRetries+1, lastErr)
+}
+
+// attempt performs one request/response exchange under the per-request
+// deadline.
+func (c *Client) attempt(conn net.Conn, req any) (any, error) {
+	if err := conn.SetDeadline(time.Now().Add(c.opts.RequestTimeout)); err != nil {
+		return nil, fmt.Errorf("client: set deadline: %w", err)
+	}
+	if err := wire.WriteFrame(conn, req); err != nil {
+		return nil, err
+	}
+	resp, err := wire.ReadFrame(conn)
 	if err != nil {
 		return nil, err
 	}
 	if e, ok := resp.(*wire.ErrorResponse); ok {
-		return nil, fmt.Errorf("client: server error: %s", e.Message)
+		return nil, &serverError{msg: e.Message}
 	}
 	return resp, nil
+}
+
+func (c *Client) isClosed() bool {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	return c.closed
 }
 
 // QueryMax returns the server's maximum stored similarity for each
@@ -65,9 +326,12 @@ func (c *Client) QueryMax(sets []*features.BinarySet) ([]float64, error) {
 }
 
 // Upload sends one image (features + payload) and returns the assigned
-// server-side image ID.
+// server-side image ID. The request carries a fresh nonce, reused across
+// retries, so a response lost to the network cannot make the server
+// store (or count) the image twice.
 func (c *Client) Upload(set *features.BinarySet, groupID int64, lat, lon float64, blob []byte) (int64, error) {
 	resp, err := c.roundTrip(&wire.UploadRequest{
+		Nonce:   c.newNonce(),
 		Set:     set,
 		GroupID: groupID,
 		Lat:     lat,
@@ -84,6 +348,18 @@ func (c *Client) Upload(set *features.BinarySet, groupID int64, lat, lon float64
 	return ur.ID, nil
 }
 
+// newNonce draws a nonzero upload nonce. Called before roundTrip takes
+// reqMu, so it synchronizes on it explicitly.
+func (c *Client) newNonce() uint64 {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	for {
+		if n := c.rng.Uint64(); n != 0 {
+			return n
+		}
+	}
+}
+
 // Stats fetches the server's upload counters.
 func (c *Client) Stats() (images, bytes int64, err error) {
 	resp, err := c.roundTrip(&wire.StatsRequest{})
@@ -97,9 +373,22 @@ func (c *Client) Stats() (images, bytes int64, err error) {
 	return sr.Images, sr.BytesReceived, nil
 }
 
-// Close closes the connection.
+// Close closes the connection. It never waits for an in-flight request:
+// closing the conn unblocks any reader stuck on a dead peer, and pending
+// backoff sleeps are cut short.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.conn.Close()
+	c.stateMu.Lock()
+	if c.closed {
+		c.stateMu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conn := c.conn
+	c.conn = nil
+	close(c.closeCh)
+	c.stateMu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
 }

@@ -2,6 +2,7 @@ package client
 
 import (
 	"log"
+	"sync"
 
 	"bees/internal/features"
 	"bees/internal/index"
@@ -10,13 +11,19 @@ import (
 
 // RemoteServer adapts a Client to core.ServerAPI so the full BEES
 // pipeline (and every baseline) can run against a beesd server over TCP
-// exactly as it runs against an in-process server. Network errors are
-// survivable in a disaster scenario, so they degrade rather than abort:
-// failed queries report similarity 0 (image treated as unique) and
-// failed uploads return -1; Err exposes the last failure.
+// exactly as it runs against an in-process server. The client retries
+// transient failures internally; only a request whose retry budget is
+// exhausted reaches this layer, and in a disaster scenario that is
+// survivable, so it degrades rather than aborts: failed queries report
+// similarity 0 (image treated as unique) and failed uploads return -1.
+// Err exposes the last failure and TakeDegraded the degradation count,
+// which core.BatchAccounting folds into BatchReport.Degraded.
 type RemoteServer struct {
-	c       *Client
-	lastErr error
+	c *Client
+
+	mu       sync.Mutex
+	lastErr  error
+	degraded int
 }
 
 // NewRemoteServer wraps a connected client.
@@ -26,7 +33,7 @@ func NewRemoteServer(c *Client) *RemoteServer { return &RemoteServer{c: c} }
 func (r *RemoteServer) QueryMax(set *features.BinarySet) float64 {
 	sims, err := r.c.QueryMax([]*features.BinarySet{set})
 	if err != nil {
-		r.lastErr = err
+		r.degrade(err)
 		log.Printf("beesctl: query failed, treating image as unique: %v", err)
 		return 0
 	}
@@ -40,12 +47,34 @@ func (r *RemoteServer) Upload(set *features.BinarySet, meta server.UploadMeta) i
 	blob := make([]byte, meta.Bytes)
 	id, err := r.c.Upload(set, meta.GroupID, meta.Lat, meta.Lon, blob)
 	if err != nil {
-		r.lastErr = err
+		r.degrade(err)
 		log.Printf("beesctl: upload failed: %v", err)
 		return -1
 	}
 	return index.ImageID(id)
 }
 
+func (r *RemoteServer) degrade(err error) {
+	r.mu.Lock()
+	r.lastErr = err
+	r.degraded++
+	r.mu.Unlock()
+}
+
 // Err returns the last transport error, if any.
-func (r *RemoteServer) Err() error { return r.lastErr }
+func (r *RemoteServer) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastErr
+}
+
+// TakeDegraded returns the number of requests that degraded (exhausted
+// their retries) since the last call, and resets the counter — one call
+// per batch gives per-batch counts.
+func (r *RemoteServer) TakeDegraded() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d := r.degraded
+	r.degraded = 0
+	return d
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"bees/internal/dataset"
 	"bees/internal/features"
@@ -72,29 +73,41 @@ func buildBatchGraph(sets []*features.BinarySet, survivors []int, cap, hammingMa
 	for i, si := range survivors {
 		capped[i] = capSet(sets[si], cap)
 	}
+	// Row a has n-1-a cells, so handing out single rows leaves the worker
+	// stuck with the early rows doing almost all the work. Pair row a with
+	// row n-1-a instead: every unit costs (n-1-a) + a = n-1 cells, and an
+	// atomic counter hands units to whichever worker is free.
+	n := len(survivors)
+	units := (n + 1) / 2
 	workers := runtime.NumCPU()
-	if workers > len(survivors) {
-		workers = len(survivors)
+	if workers > units {
+		workers = units
 	}
 	var wg sync.WaitGroup
-	rows := make(chan int)
+	var next atomic.Int64
+	row := func(a int) {
+		for b := a + 1; b < n; b++ {
+			// Each (a, b) cell is written by exactly one goroutine;
+			// SetWeight touches only W[a][b]/W[b][a].
+			g.SetWeight(a, b, features.JaccardBinary(capped[a], capped[b], hammingMax))
+		}
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for a := range rows {
-				for b := a + 1; b < len(survivors); b++ {
-					// Each (a, b) cell is written by exactly one
-					// goroutine; SetWeight touches only W[a][b]/W[b][a].
-					g.SetWeight(a, b, features.JaccardBinary(capped[a], capped[b], hammingMax))
+			for {
+				u := int(next.Add(1)) - 1
+				if u >= units {
+					return
+				}
+				row(u)
+				if mirror := n - 1 - u; mirror != u {
+					row(mirror)
 				}
 			}
 		}()
 	}
-	for a := 0; a < len(survivors); a++ {
-		rows <- a
-	}
-	close(rows)
 	wg.Wait()
 	return g
 }

@@ -84,7 +84,7 @@ func (p *Pipeline) ProcessBatch(dev *Device, srv ServerAPI, batch []*dataset.Ima
 	acct := BeginBatch(dev)
 	report := BatchReport{Scheme: p.Name(), Total: len(batch)}
 	if len(batch) == 0 {
-		acct.Finish(dev, &report)
+		acct.Finish(dev, srv, &report)
 		return report
 	}
 
@@ -156,7 +156,7 @@ func (p *Pipeline) ProcessBatch(dev *Device, srv ServerAPI, batch []*dataset.Ima
 	for _, img := range batch {
 		img.Free()
 	}
-	acct.Finish(dev, &report)
+	acct.Finish(dev, srv, &report)
 	return report
 }
 

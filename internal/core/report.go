@@ -39,6 +39,11 @@ type BatchReport struct {
 	FeatureBytes  int
 	ImageBytes    int
 	FeedbackBytes int
+	// Degraded counts requests that exhausted the transport's retry
+	// budget during this batch and fell back to the disaster-mode
+	// degradation (query treated as unique / upload skipped). Always 0
+	// for in-process servers.
+	Degraded int
 	// Energy is the per-category energy of this batch only.
 	Energy energy.Meter
 	// Delay is the wall time the batch occupied the phone (extraction +
@@ -72,6 +77,13 @@ type Scheme interface {
 	ProcessBatch(dev *Device, srv ServerAPI, batch []*dataset.Image) BatchReport
 }
 
+// DegradationCounter is implemented by server adapters that can degrade
+// instead of failing (client.RemoteServer): TakeDegraded returns how many
+// requests degraded since the last call and resets the counter.
+type DegradationCounter interface {
+	TakeDegraded() int
+}
+
 // BatchAccounting captures the meter and clock at batch start so the
 // report contains only this batch's deltas. Scheme implementations call
 // BeginBatch first and Finish last.
@@ -86,11 +98,15 @@ func BeginBatch(dev *Device) BatchAccounting {
 }
 
 // Finish fills the report's energy, delay and battery fields from the
-// device counters accumulated since BeginBatch.
-func (a BatchAccounting) Finish(dev *Device, r *BatchReport) {
+// device counters accumulated since BeginBatch, and folds in the server
+// adapter's degradation count when it keeps one (srv may be nil).
+func (a BatchAccounting) Finish(dev *Device, srv ServerAPI, r *BatchReport) {
 	r.Energy = diffMeter(*dev.Meter, a.meterBefore)
 	r.Delay = dev.Clock.Now() - a.clockBefore
 	r.EbatAfter = dev.Battery.Ebat()
+	if dc, ok := srv.(DegradationCounter); ok {
+		r.Degraded = dc.TakeDegraded()
+	}
 }
 
 // diffMeter returns after − before per category.

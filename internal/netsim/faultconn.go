@@ -1,0 +1,148 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjectedReset is the error a FaultConn surfaces when it decides to
+// kill the connection mid-operation.
+var ErrInjectedReset = errors.New("netsim: injected connection reset")
+
+// FaultConfig describes how a FaultConn misbehaves. All probabilities
+// are per I/O operation and drawn from a deterministic seeded RNG, so a
+// failing chaos run replays exactly. The zero value injects nothing.
+type FaultConfig struct {
+	// Seed fixes the fault schedule. Each connection dialed through
+	// FaultyDialer derives its own stream from Seed and a dial counter.
+	Seed int64
+	// Latency is added to every read and write, with up to LatencyJitter
+	// more drawn uniformly. Models the shaped disaster uplink's delay.
+	Latency       time.Duration
+	LatencyJitter time.Duration
+	// StallProb is the chance an operation freezes for StallFor before
+	// proceeding — long stalls force the peer's deadlines to fire.
+	StallProb float64
+	StallFor  time.Duration
+	// ResetProb is the chance an operation closes the connection and
+	// fails, as if the network reset it mid-frame.
+	ResetProb float64
+	// MaxWriteChunk, when positive, splits writes into chunks of at most
+	// this many bytes, with faults rolled per chunk — so a reset can land
+	// in the middle of a frame, leaving the peer a partial write.
+	MaxWriteChunk int
+	// CorruptProb is the chance a write chunk has one bit flipped,
+	// exercising the peer's decoder against a desynchronized stream.
+	CorruptProb float64
+}
+
+// FaultConn wraps a net.Conn and injects latency, stalls, partial
+// writes, mid-frame resets and byte corruption per its FaultConfig.
+// Deadlines, Close and the rest of the net.Conn surface pass through to
+// the underlying connection.
+type FaultConn struct {
+	net.Conn
+	cfg FaultConfig
+
+	mu  sync.Mutex // guards rng
+	rng *rand.Rand
+}
+
+// NewFaultConn wraps conn with a fault schedule drawn from cfg.Seed.
+func NewFaultConn(conn net.Conn, cfg FaultConfig) *FaultConn {
+	return &FaultConn{Conn: conn, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// FaultyDialer returns a dial function (matching client.DialFunc) whose
+// connections misbehave per cfg. Connection i uses seed cfg.Seed+i so
+// redials after injected resets see fresh but reproducible schedules.
+func FaultyDialer(cfg FaultConfig) func(addr string, timeout time.Duration) (net.Conn, error) {
+	var dials atomic.Int64
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		c := cfg
+		c.Seed = cfg.Seed + dials.Add(1) - 1
+		return NewFaultConn(conn, c), nil
+	}
+}
+
+// decide rolls the fault dice for one operation: it sleeps for injected
+// latency/stalls and reports whether the connection should reset.
+func (f *FaultConn) decide() error {
+	f.mu.Lock()
+	delay := f.cfg.Latency
+	if f.cfg.LatencyJitter > 0 {
+		delay += time.Duration(f.rng.Int63n(int64(f.cfg.LatencyJitter)))
+	}
+	stall := f.cfg.StallProb > 0 && f.rng.Float64() < f.cfg.StallProb
+	reset := f.cfg.ResetProb > 0 && f.rng.Float64() < f.cfg.ResetProb
+	f.mu.Unlock()
+
+	if stall {
+		delay += f.cfg.StallFor
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if reset {
+		f.Conn.Close()
+		return fmt.Errorf("%w", ErrInjectedReset)
+	}
+	return nil
+}
+
+// Read injects latency/stalls/resets before delegating.
+func (f *FaultConn) Read(p []byte) (int, error) {
+	if err := f.decide(); err != nil {
+		return 0, err
+	}
+	return f.Conn.Read(p)
+}
+
+// Write delivers p in chunks, rolling faults per chunk, so resets and
+// corruption can land mid-frame after part of the data is on the wire.
+func (f *FaultConn) Write(p []byte) (int, error) {
+	chunk := f.cfg.MaxWriteChunk
+	if chunk <= 0 {
+		chunk = len(p)
+	}
+	written := 0
+	for written < len(p) {
+		end := written + chunk
+		if end > len(p) {
+			end = len(p)
+		}
+		if err := f.decide(); err != nil {
+			return written, err
+		}
+		buf := p[written:end]
+		if f.cfg.CorruptProb > 0 {
+			f.mu.Lock()
+			corrupt := f.rng.Float64() < f.cfg.CorruptProb
+			var pos, bit int
+			if corrupt && len(buf) > 0 {
+				pos, bit = f.rng.Intn(len(buf)), f.rng.Intn(8)
+			}
+			f.mu.Unlock()
+			if corrupt && len(buf) > 0 {
+				tainted := append([]byte(nil), buf...)
+				tainted[pos] ^= 1 << bit
+				buf = tainted
+			}
+		}
+		n, err := f.Conn.Write(buf)
+		written += n
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}

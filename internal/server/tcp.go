@@ -6,25 +6,72 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"bees/internal/wire"
 )
+
+// TCPConfig tunes the network-facing hardening of a TCPServer. The zero
+// value selects the defaults documented per field.
+type TCPConfig struct {
+	// IdleTimeout is how long a connection may sit between frames before
+	// the server drops it — a client stalled mid-frame on the paper's
+	// 0–512 Kbps link cannot pin a handler goroutine forever. Default 2m.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response write so a peer that stops
+	// reading cannot wedge a handler. Default 30s.
+	WriteTimeout time.Duration
+	// MaxConns caps simultaneous connections; beyond it new connections
+	// are closed immediately. Default 256.
+	MaxConns int
+	// DedupWindow is how many recent upload nonces are remembered for
+	// retry deduplication. Default 4096.
+	DedupWindow int
+}
+
+func (c TCPConfig) withDefaults() TCPConfig {
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.MaxConns <= 0 {
+		c.MaxConns = 256
+	}
+	if c.DedupWindow <= 0 {
+		c.DedupWindow = 4096
+	}
+	return c
+}
 
 // TCPServer exposes a Server over the wire protocol. One goroutine per
 // connection; requests on a connection are handled sequentially.
 type TCPServer struct {
 	srv *Server
+	cfg TCPConfig
 	ln  net.Listener
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+
+	dedup *uploadDedup
 }
 
-// NewTCP wraps a Server for network serving.
-func NewTCP(srv *Server) *TCPServer {
-	return &TCPServer{srv: srv, conns: make(map[net.Conn]struct{})}
+// NewTCP wraps a Server for network serving with default hardening.
+func NewTCP(srv *Server) *TCPServer { return NewTCPConfig(srv, TCPConfig{}) }
+
+// NewTCPConfig wraps a Server with explicit deadline/limit settings.
+func NewTCPConfig(srv *Server, cfg TCPConfig) *TCPServer {
+	cfg = cfg.withDefaults()
+	return &TCPServer{
+		srv:   srv,
+		cfg:   cfg,
+		conns: make(map[net.Conn]struct{}),
+		dedup: newUploadDedup(cfg.DedupWindow),
+	}
 }
 
 // Listen binds the given address (e.g. "127.0.0.1:0") and starts
@@ -53,6 +100,13 @@ func (t *TCPServer) acceptLoop() {
 			conn.Close()
 			return
 		}
+		if len(t.conns) >= t.cfg.MaxConns {
+			t.mu.Unlock()
+			log.Printf("beesd: rejecting %s: connection limit %d reached",
+				conn.RemoteAddr(), t.cfg.MaxConns)
+			conn.Close()
+			continue
+		}
 		t.conns[conn] = struct{}{}
 		t.mu.Unlock()
 		t.wg.Add(1)
@@ -69,9 +123,14 @@ func (t *TCPServer) serveConn(conn net.Conn) {
 		t.mu.Unlock()
 	}()
 	for {
+		// The idle deadline covers the whole frame read: a peer that
+		// stalls mid-frame is indistinguishable from one that went away.
+		if err := conn.SetReadDeadline(time.Now().Add(t.cfg.IdleTimeout)); err != nil {
+			return
+		}
 		msg, err := wire.ReadFrame(conn)
 		if err != nil {
-			return // EOF or broken peer; drop the connection
+			return // EOF, timeout, or broken peer; drop the connection
 		}
 		if err := t.handle(conn, msg); err != nil {
 			log.Printf("beesd: connection error: %v", err)
@@ -81,6 +140,9 @@ func (t *TCPServer) serveConn(conn net.Conn) {
 }
 
 func (t *TCPServer) handle(conn net.Conn, msg any) error {
+	if err := conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout)); err != nil {
+		return err
+	}
 	switch m := msg.(type) {
 	case *wire.QueryRequest:
 		resp := &wire.QueryResponse{MaxSims: make([]float64, len(m.Sets))}
@@ -89,17 +151,7 @@ func (t *TCPServer) handle(conn net.Conn, msg any) error {
 		}
 		return wire.WriteFrame(conn, resp)
 	case *wire.UploadRequest:
-		set := m.Set
-		if set.Len() == 0 {
-			set = nil
-		}
-		id := t.srv.Upload(set, UploadMeta{
-			GroupID: m.GroupID,
-			Lat:     m.Lat,
-			Lon:     m.Lon,
-			Bytes:   len(m.Blob),
-		})
-		return wire.WriteFrame(conn, &wire.UploadResponse{ID: int64(id)})
+		return wire.WriteFrame(conn, &wire.UploadResponse{ID: t.upload(m)})
 	case *wire.StatsRequest:
 		st := t.srv.Stats()
 		return wire.WriteFrame(conn, &wire.StatsResponse{
@@ -111,6 +163,31 @@ func (t *TCPServer) handle(conn net.Conn, msg any) error {
 			Message: fmt.Sprintf("unexpected message %T", msg),
 		})
 	}
+}
+
+// upload applies an upload exactly once per nonce: a retried request
+// whose original response was lost gets the originally assigned ID back
+// instead of storing (and counting) the image twice.
+func (t *TCPServer) upload(m *wire.UploadRequest) int64 {
+	if m.Nonce != 0 {
+		if id, ok := t.dedup.lookup(m.Nonce); ok {
+			return id
+		}
+	}
+	set := m.Set
+	if set.Len() == 0 {
+		set = nil
+	}
+	id := int64(t.srv.Upload(set, UploadMeta{
+		GroupID: m.GroupID,
+		Lat:     m.Lat,
+		Lon:     m.Lon,
+		Bytes:   len(m.Blob),
+	}))
+	if m.Nonce != 0 {
+		t.dedup.record(m.Nonce, id)
+	}
+	return id
 }
 
 // Close stops accepting, closes active connections, and waits for the
@@ -132,4 +209,40 @@ func (t *TCPServer) Close() error {
 	}
 	t.wg.Wait()
 	return err
+}
+
+// uploadDedup remembers the IDs assigned to recent upload nonces. The
+// window is bounded FIFO: old nonces fall out once the client's retry
+// horizon has long passed.
+type uploadDedup struct {
+	mu    sync.Mutex
+	ids   map[uint64]int64
+	order []uint64
+	limit int
+}
+
+func newUploadDedup(limit int) *uploadDedup {
+	return &uploadDedup{ids: make(map[uint64]int64), limit: limit}
+}
+
+func (d *uploadDedup) lookup(nonce uint64) (int64, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id, ok := d.ids[nonce]
+	return id, ok
+}
+
+func (d *uploadDedup) record(nonce uint64, id int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.ids[nonce]; ok {
+		return
+	}
+	if len(d.order) >= d.limit {
+		oldest := d.order[0]
+		d.order = d.order[1:]
+		delete(d.ids, oldest)
+	}
+	d.ids[nonce] = id
+	d.order = append(d.order, nonce)
 }

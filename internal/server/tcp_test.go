@@ -1,0 +1,175 @@
+package server
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"bees/internal/wire"
+)
+
+func listenTCP(t *testing.T, cfg TCPConfig) (*Server, *TCPServer, string) {
+	t.Helper()
+	srv := NewDefault()
+	tcp := NewTCPConfig(srv, cfg)
+	addr, err := tcp.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tcp.Close() })
+	return srv, tcp, addr.String()
+}
+
+func dialRaw(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+// request performs one raw wire exchange on conn.
+func request(t *testing.T, conn net.Conn, msg any) any {
+	t.Helper()
+	if err := wire.WriteFrame(conn, msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	resp, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return resp
+}
+
+// TestIdleConnectionDropped checks a connection that goes quiet — or
+// stalls mid-frame — is dropped after the idle timeout instead of
+// pinning a handler goroutine forever.
+func TestIdleConnectionDropped(t *testing.T) {
+	_, _, addr := listenTCP(t, TCPConfig{IdleTimeout: 100 * time.Millisecond})
+	conn := dialRaw(t, addr)
+	// Half a header: the server is now blocked mid-frame.
+	if _, err := conn.Write([]byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("stalled connection survived the idle timeout")
+	}
+}
+
+// TestConnectionLimit checks connections beyond MaxConns are rejected
+// while the earlier ones keep working.
+func TestConnectionLimit(t *testing.T) {
+	_, _, addr := listenTCP(t, TCPConfig{MaxConns: 1, IdleTimeout: 5 * time.Second})
+	first := dialRaw(t, addr)
+	// A round trip guarantees the server has registered the connection.
+	if _, ok := request(t, first, &wire.StatsRequest{}).(*wire.StatsResponse); !ok {
+		t.Fatal("stats request failed")
+	}
+
+	second := dialRaw(t, addr)
+	second.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := second.Read(make([]byte, 1)); err == nil {
+		t.Fatal("connection beyond the limit was served")
+	}
+	// The first connection must be unaffected.
+	if _, ok := request(t, first, &wire.StatsRequest{}).(*wire.StatsResponse); !ok {
+		t.Fatal("first connection broken by the rejected one")
+	}
+	// Closing it frees the slot.
+	first.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		third, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wire.WriteFrame(third, &wire.StatsRequest{}); err == nil {
+			third.SetReadDeadline(time.Now().Add(time.Second))
+			if _, err := wire.ReadFrame(third); err == nil {
+				third.Close()
+				return
+			}
+		}
+		third.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("slot never freed after first connection closed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestUploadNonceDedup checks a retried upload (same nonce) is applied
+// once: the replay gets the original ID and the counters move once.
+func TestUploadNonceDedup(t *testing.T) {
+	srv, _, addr := listenTCP(t, TCPConfig{})
+	conn := dialRaw(t, addr)
+	up := &wire.UploadRequest{Nonce: 424242, GroupID: 7, Blob: make([]byte, 100)}
+
+	first, ok := request(t, conn, up).(*wire.UploadResponse)
+	if !ok {
+		t.Fatal("no upload response")
+	}
+	// Same nonce again — as a client whose response was lost would send,
+	// here even over a second connection.
+	conn2 := dialRaw(t, addr)
+	second, ok := request(t, conn2, up).(*wire.UploadResponse)
+	if !ok {
+		t.Fatal("no response to retried upload")
+	}
+	if first.ID != second.ID {
+		t.Fatalf("retry got ID %d, original got %d", second.ID, first.ID)
+	}
+	if st := srv.Stats(); st.Images != 1 || st.BytesReceived != 100 {
+		t.Fatalf("retry double-counted: %+v", st)
+	}
+
+	// A different nonce is a different upload.
+	up.Nonce = 555
+	third := request(t, conn, up).(*wire.UploadResponse)
+	if third.ID == first.ID {
+		t.Fatal("distinct nonce deduplicated")
+	}
+	if st := srv.Stats(); st.Images != 2 {
+		t.Fatalf("second upload not applied: %+v", st)
+	}
+}
+
+// TestUploadNoNonceNotDeduped checks nonce 0 (protection disabled)
+// keeps the old semantics: every request stores a fresh image.
+func TestUploadNoNonceNotDeduped(t *testing.T) {
+	srv, _, addr := listenTCP(t, TCPConfig{})
+	conn := dialRaw(t, addr)
+	up := &wire.UploadRequest{Blob: make([]byte, 10)}
+	a := request(t, conn, up).(*wire.UploadResponse)
+	b := request(t, conn, up).(*wire.UploadResponse)
+	if a.ID == b.ID {
+		t.Fatal("nonce-less uploads were deduplicated")
+	}
+	if st := srv.Stats(); st.Images != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestDedupWindowBounded checks the nonce memory is FIFO-bounded so a
+// hostile client cannot grow it without limit.
+func TestDedupWindowBounded(t *testing.T) {
+	d := newUploadDedup(3)
+	for n := uint64(1); n <= 5; n++ {
+		d.record(n, int64(n))
+	}
+	if _, ok := d.lookup(1); ok {
+		t.Fatal("oldest nonce not evicted")
+	}
+	if _, ok := d.lookup(2); ok {
+		t.Fatal("second-oldest nonce not evicted")
+	}
+	for n := uint64(3); n <= 5; n++ {
+		if id, ok := d.lookup(n); !ok || id != int64(n) {
+			t.Fatalf("nonce %d lost from the window", n)
+		}
+	}
+}

@@ -5,6 +5,21 @@
 //
 // Frame layout: [u32 payload length][u8 message type][payload].
 // Integers are little-endian. Descriptors travel as raw 32-byte blocks.
+//
+// Limits and safety: a frame's announced payload length is capped at
+// MaxFrameBytes; decoders never allocate more than the received payload
+// can actually describe, so a malformed count field cannot force a large
+// allocation. Every decoder rejects truncated or trailing-garbage input
+// with an error rather than a panic, and a decode error is grounds for
+// the receiver to drop the connection (the stream may be desynchronized).
+//
+// Retry semantics: the protocol itself is a strict one-request/
+// one-response alternation per connection. Queries and stats requests
+// are read-only and naturally idempotent. UploadRequest carries a
+// client-chosen Nonce so a retried upload (the client saw no response,
+// the server may or may not have applied it) can be deduplicated
+// server-side: the server replays the original UploadResponse instead of
+// storing the image twice. Nonce 0 means "no retry protection".
 package wire
 
 import (
@@ -38,6 +53,10 @@ const MaxFrameBytes = 64 << 20
 // ErrFrameTooLarge is returned when a peer announces an oversized frame.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrameBytes")
 
+// ErrUnencodable is wrapped by WriteFrame when the message type is not
+// part of the protocol; nothing was written, so the stream is intact.
+var ErrUnencodable = errors.New("wire: unencodable message")
+
 // QueryRequest asks for the maximum stored similarity of each feature set.
 type QueryRequest struct {
 	Sets []*features.BinarySet
@@ -50,6 +69,11 @@ type QueryResponse struct {
 
 // UploadRequest stores one image: its features, metadata, and payload.
 type UploadRequest struct {
+	// Nonce identifies this logical upload across retries. A client that
+	// resends an upload after a transport failure reuses the nonce; the
+	// server answers a duplicate with the originally assigned ID instead
+	// of storing the image again. Zero disables deduplication.
+	Nonce   uint64
 	Set     *features.BinarySet
 	GroupID int64
 	Lat     float64
@@ -100,7 +124,7 @@ func WriteFrame(w io.Writer, msg any) error {
 	case *ErrorResponse:
 		typ, payload = MsgError, []byte(m.Message)
 	default:
-		return fmt.Errorf("wire: cannot encode %T", msg)
+		return fmt.Errorf("%w: %T", ErrUnencodable, msg)
 	}
 	header := make([]byte, 5)
 	binary.LittleEndian.PutUint32(header, uint32(len(payload)))
@@ -209,7 +233,14 @@ func decodeQueryRequest(payload []byte) (*QueryRequest, error) {
 	}
 	n := int(binary.LittleEndian.Uint32(payload))
 	payload = payload[4:]
-	req := &QueryRequest{Sets: make([]*features.BinarySet, 0, n)}
+	// The count is attacker-controlled; cap the preallocation by what the
+	// remaining payload could possibly hold (each set needs at least a
+	// 4-byte descriptor count) so a tiny frame cannot demand gigabytes.
+	prealloc := n
+	if max := len(payload) / 4; prealloc > max {
+		prealloc = max
+	}
+	req := &QueryRequest{Sets: make([]*features.BinarySet, 0, prealloc)}
 	for i := 0; i < n; i++ {
 		set, rest, err := decodeSet(payload)
 		if err != nil {
@@ -245,7 +276,8 @@ func decodeQueryResponse(payload []byte) (*QueryResponse, error) {
 }
 
 func encodeUploadRequest(m *UploadRequest) []byte {
-	buf := encodeU64(uint64(m.GroupID))
+	buf := encodeU64(m.Nonce)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.GroupID))
 	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.Lat))
 	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.Lon))
 	set := m.Set
@@ -258,15 +290,16 @@ func encodeUploadRequest(m *UploadRequest) []byte {
 }
 
 func decodeUploadRequest(payload []byte) (*UploadRequest, error) {
-	if len(payload) < 24 {
+	if len(payload) < 32 {
 		return nil, errors.New("wire: truncated upload request")
 	}
 	req := &UploadRequest{
-		GroupID: int64(binary.LittleEndian.Uint64(payload)),
-		Lat:     math.Float64frombits(binary.LittleEndian.Uint64(payload[8:])),
-		Lon:     math.Float64frombits(binary.LittleEndian.Uint64(payload[16:])),
+		Nonce:   binary.LittleEndian.Uint64(payload),
+		GroupID: int64(binary.LittleEndian.Uint64(payload[8:])),
+		Lat:     math.Float64frombits(binary.LittleEndian.Uint64(payload[16:])),
+		Lon:     math.Float64frombits(binary.LittleEndian.Uint64(payload[24:])),
 	}
-	set, rest, err := decodeSet(payload[24:])
+	set, rest, err := decodeSet(payload[32:])
 	if err != nil {
 		return nil, err
 	}

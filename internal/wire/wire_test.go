@@ -166,6 +166,32 @@ func TestDecodeCorruptSet(t *testing.T) {
 	}
 }
 
+// TestOversizedCountSmallFrame is the regression test for the unbounded
+// preallocation: a 4-byte query payload announcing 2³²−1 sets must be
+// rejected without the decoder preallocating for the announced count.
+func TestOversizedCountSmallFrame(t *testing.T) {
+	frame := []byte{4, 0, 0, 0, byte(MsgQueryRequest), 0xff, 0xff, 0xff, 0xff}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := ReadFrame(bytes.NewReader(frame)); err == nil {
+			t.Fatal("oversized set count accepted")
+		}
+	})
+	// A handful of small allocations (header, payload, error) are fine; a
+	// count-sized preallocation would be ~32 GB and billions of allocs.
+	if allocs > 20 {
+		t.Fatalf("decoder made %v allocations for a 4-byte payload", allocs)
+	}
+}
+
+// TestUploadNonceRoundTrip pins the nonce field's place on the wire.
+func TestUploadNonceRoundTrip(t *testing.T) {
+	req := &UploadRequest{Nonce: 0xdeadbeefcafe, GroupID: 9, Blob: []byte{1}}
+	got := roundTrip(t, req).(*UploadRequest)
+	if got.Nonce != req.Nonce || got.GroupID != 9 {
+		t.Fatalf("nonce/group corrupted: %+v", got)
+	}
+}
+
 func TestMultipleFramesSequential(t *testing.T) {
 	var buf bytes.Buffer
 	rng := rand.New(rand.NewSource(3))
