@@ -14,8 +14,12 @@ build:
 	$(GO) build ./...
 
 tier1: build
+	$(GO) vet ./cmd/... ./examples/...
 	$(GO) test ./...
 
+# tier2's race run covers the telemetry registry's concurrency tests
+# (internal/telemetry: parallel writers + snapshot readers) — the race
+# detector is what makes them a proof rather than a smoke test.
 tier2:
 	$(GO) vet ./...
 	$(GO) test -race ./...

@@ -6,16 +6,28 @@
 //
 //	beesctl [-addr 127.0.0.1:7700] [-scheme bees|bees-ea|direct|smarteye|mrc]
 //	        [-batch 100] [-inbatch 10] [-seed 1] [-ebat 1.0] [-bitrate 256000]
-//	        [-repeat 1] [-timeout 10s] [-retries 3]
+//	        [-repeat 1] [-timeout 10s] [-retries 3] [-push-telemetry]
+//
+//	beesctl stats [-debug-addr 127.0.0.1:7701] [-json]
 //
 // Repeating the same seed demonstrates cross-batch elimination: the
 // second run finds the first run's images in the server index.
+//
+// The run collects per-stage telemetry (spans, counters, EAAS knob
+// gauges) in a local registry and, unless -push-telemetry=false, pushes
+// the snapshot to beesd at the end so the server's -debug-addr endpoint
+// exposes the phone-side pipeline metrics too. `beesctl stats` fetches
+// that endpoint and pretty-prints it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"os"
 	"time"
 
 	"bees/internal/baseline"
@@ -24,11 +36,18 @@ import (
 	"bees/internal/dataset"
 	"bees/internal/energy"
 	"bees/internal/netsim"
+	"bees/internal/telemetry"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("beesctl: ")
+	if len(os.Args) > 1 && os.Args[1] == "stats" {
+		if err := runStats(os.Args[2:]); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
@@ -47,10 +66,14 @@ func run() error {
 		repeat  = flag.Int("repeat", 1, "number of batches to upload")
 		timeout = flag.Duration("timeout", 10*time.Second, "per-request deadline")
 		retries = flag.Int("retries", 3, "retries per failed request (fresh connection each)")
+		push    = flag.Bool("push-telemetry", true, "push the run's telemetry snapshot to beesd on exit")
 	)
 	flag.Parse()
 
-	s, err := pickScheme(*scheme)
+	// One registry for the whole run: the pipeline's stage spans and the
+	// client's transport counters land in the same snapshot.
+	reg := telemetry.NewRegistry()
+	s, err := pickScheme(*scheme, reg)
 	if err != nil {
 		return err
 	}
@@ -58,6 +81,7 @@ func run() error {
 		DialTimeout:    5 * time.Second,
 		RequestTimeout: *timeout,
 		MaxRetries:     *retries,
+		Telemetry:      reg,
 	})
 	if err != nil {
 		return err
@@ -90,6 +114,11 @@ func run() error {
 	if m := c.Metrics(); m.Retries > 0 || m.Redials > 0 {
 		fmt.Printf("transport: %d retries, %d redials\n", m.Retries, m.Redials)
 	}
+	if *push {
+		if err := c.PushTelemetry(reg.Snapshot()); err != nil {
+			log.Printf("telemetry push failed: %v", err)
+		}
+	}
 	if err := remote.Err(); err != nil {
 		return fmt.Errorf("transport errors occurred, last: %w", err)
 	}
@@ -101,12 +130,53 @@ func run() error {
 	return nil
 }
 
-func pickScheme(name string) (core.Scheme, error) {
+// runStats implements `beesctl stats`: fetch beesd's /debug/vars JSON
+// snapshot and render it for the terminal (or dump the raw JSON).
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	debugAddr := fs.String("debug-addr", "127.0.0.1:7701", "beesd -debug-addr endpoint")
+	raw := fs.Bool("json", false, "print the raw JSON snapshot instead of the rendered view")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	url := "http://" + *debugAddr + "/debug/vars"
+	httpc := &http.Client{Timeout: 10 * time.Second}
+	resp, err := httpc.Get(url)
+	if err != nil {
+		return fmt.Errorf("fetch %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return fmt.Errorf("read %s: %w", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	if *raw {
+		os.Stdout.Write(body)
+		return nil
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return fmt.Errorf("decode %s: %w", url, err)
+	}
+	fmt.Printf("beesd telemetry (%s)\n", url)
+	fmt.Print(snap.Render())
+	return nil
+}
+
+func pickScheme(name string, reg *telemetry.Registry) (core.Scheme, error) {
 	switch name {
 	case "bees":
-		return baseline.NewBEES(), nil
+		cfg := core.DefaultConfig()
+		cfg.Telemetry = reg
+		return core.New(cfg), nil
 	case "bees-ea":
-		return baseline.NewBEESEA(), nil
+		cfg := core.DefaultConfig()
+		cfg.Adaptive = false
+		cfg.Telemetry = reg
+		return core.New(cfg), nil
 	case "direct":
 		return baseline.Direct{}, nil
 	case "smarteye":

@@ -5,23 +5,33 @@
 // Usage:
 //
 //	beesd [-addr 127.0.0.1:7700] [-state /path/to/state.bees]
-//	      [-idle-timeout 2m] [-max-conns 256]
+//	      [-idle-timeout 2m] [-max-conns 256] [-debug-addr 127.0.0.1:7701]
 //
 // With -state, the server restores its index from the snapshot at
 // startup and writes it back on shutdown, so redundancy detection
 // carries across restarts.
+//
+// With -debug-addr, the server additionally serves a JSON telemetry
+// snapshot at /debug/vars (frames, dedup hits, rejected connections,
+// per-stage spans, plus any pipeline metrics clients push — see
+// DESIGN.md, "Observability") and the net/http/pprof profiling
+// endpoints under /debug/pprof/. `beesctl stats` renders the snapshot.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"bees/internal/server"
+	"bees/internal/telemetry"
 )
 
 func main() {
@@ -37,6 +47,7 @@ func run() error {
 	state := flag.String("state", "", "snapshot file (restored on start, saved on shutdown)")
 	idle := flag.Duration("idle-timeout", 2*time.Minute, "drop connections idle (or stalled mid-frame) this long")
 	maxConns := flag.Int("max-conns", 256, "maximum simultaneous connections")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars (JSON telemetry snapshot) and /debug/pprof on this address")
 	flag.Parse()
 
 	srv := server.NewDefault()
@@ -48,15 +59,32 @@ func run() error {
 			fmt.Printf("restored %d images from %s\n", st.Images, *state)
 		}
 	}
+	reg := telemetry.NewRegistry()
 	tcp := server.NewTCPConfig(srv, server.TCPConfig{
 		IdleTimeout: *idle,
 		MaxConns:    *maxConns,
+		Telemetry:   reg,
 	})
 	bound, err := tcp.Listen(*addr)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("beesd listening on %s\n", bound)
+
+	var debugLn net.Listener
+	if *debugAddr != "" {
+		debugLn, err = net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listen %s: %w", *debugAddr, err)
+		}
+		mux := telemetry.DebugMuxFunc(tcp.DebugSnapshot)
+		go func() {
+			if serr := http.Serve(debugLn, mux); serr != nil && !errors.Is(serr, net.ErrClosed) {
+				log.Printf("debug server stopped: %v", serr)
+			}
+		}()
+		fmt.Printf("debug endpoint on http://%s/debug/vars\n", debugLn.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -69,6 +97,9 @@ func run() error {
 		} else {
 			fmt.Printf("state saved to %s\n", *state)
 		}
+	}
+	if debugLn != nil {
+		debugLn.Close()
 	}
 	return tcp.Close()
 }

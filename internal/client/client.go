@@ -13,15 +13,16 @@
 package client
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"bees/internal/features"
+	"bees/internal/telemetry"
 	"bees/internal/wire"
 )
 
@@ -55,6 +56,12 @@ type Options struct {
 	Seed int64
 	// Dial replaces net.DialTimeout, e.g. with a fault-injecting link.
 	Dial DialFunc
+	// Telemetry is the registry the client's transport counters
+	// ("client.dials", "client.retries", "client.requests") land in —
+	// share one registry across the app to scrape everything at once.
+	// Nil gives the client a private registry, which Metrics reads, so
+	// the accessor works either way.
+	Telemetry *telemetry.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -81,6 +88,9 @@ func (o Options) withDefaults() Options {
 			return net.DialTimeout("tcp", addr, timeout)
 		}
 	}
+	if o.Telemetry == nil {
+		o.Telemetry = telemetry.NewRegistry()
+	}
 	return o
 }
 
@@ -91,7 +101,10 @@ func DefaultOptions() Options {
 	return o.withDefaults()
 }
 
-// Metrics counts the client's fault-tolerance activity.
+// Metrics counts the client's fault-tolerance activity. It is a snapshot
+// of the telemetry counters "client.retries" and "client.dials" in the
+// client's registry (Options.Telemetry, or the private one the client
+// creates when none is given).
 type Metrics struct {
 	// Retries is how many request attempts were repeated after a failure.
 	Retries int64
@@ -117,8 +130,12 @@ type Client struct {
 	// closeCh is closed by Close to cut backoff sleeps short.
 	closeCh chan struct{}
 
-	dials   atomic.Int64
-	retries atomic.Int64
+	// Transport counters live in the telemetry registry; the pointers are
+	// resolved once at construction so the hot path never takes the
+	// registry lock.
+	dials    *telemetry.Counter
+	retries  *telemetry.Counter
+	requests *telemetry.Counter
 }
 
 // Dial connects to a beesd server with default fault tolerance; timeout
@@ -135,10 +152,13 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 func DialOptions(addr string, opts Options) (*Client, error) {
 	opts = opts.withDefaults()
 	c := &Client{
-		addr:    addr,
-		opts:    opts,
-		rng:     rand.New(rand.NewSource(opts.Seed)),
-		closeCh: make(chan struct{}),
+		addr:     addr,
+		opts:     opts,
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		closeCh:  make(chan struct{}),
+		dials:    opts.Telemetry.Counter("client.dials"),
+		retries:  opts.Telemetry.Counter("client.retries"),
+		requests: opts.Telemetry.Counter("client.requests"),
 	}
 	conn, err := c.dial()
 	if err != nil {
@@ -155,15 +175,15 @@ func (c *Client) dial() (net.Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", c.addr, err)
 	}
-	c.dials.Add(1)
+	c.dials.Inc()
 	return conn, nil
 }
 
 // Metrics returns a snapshot of the retry/redial counters.
 func (c *Client) Metrics() Metrics {
 	return Metrics{
-		Retries: c.retries.Load(),
-		Redials: max64(c.dials.Load()-1, 0),
+		Retries: c.retries.Value(),
+		Redials: max64(c.dials.Value()-1, 0),
 	}
 }
 
@@ -243,13 +263,14 @@ func (c *Client) backoff(n int) error {
 func (c *Client) roundTrip(req any) (any, error) {
 	c.reqMu.Lock()
 	defer c.reqMu.Unlock()
+	c.requests.Inc()
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
 		if attempt > 0 {
 			if err := c.backoff(attempt); err != nil {
 				return nil, err
 			}
-			c.retries.Add(1)
+			c.retries.Inc()
 		}
 		conn, err := c.ensureConn()
 		if err != nil {
@@ -358,6 +379,25 @@ func (c *Client) newNonce() uint64 {
 			return n
 		}
 	}
+}
+
+// PushTelemetry uploads a telemetry snapshot (JSON-encoded on the wire)
+// so the server's /debug endpoint can expose this client's pipeline and
+// transport metrics. beesctl pushes once per run; a retried push merges
+// counters twice, which only overstates client activity.
+func (c *Client) PushTelemetry(s telemetry.Snapshot) error {
+	body, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Errorf("client: encode telemetry: %w", err)
+	}
+	resp, err := c.roundTrip(&wire.TelemetryPush{Snapshot: body})
+	if err != nil {
+		return err
+	}
+	if _, ok := resp.(*wire.TelemetryAck); !ok {
+		return fmt.Errorf("client: unexpected response %T", resp)
+	}
+	return nil
 }
 
 // Stats fetches the server's upload counters.

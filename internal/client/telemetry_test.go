@@ -1,0 +1,86 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"bees/internal/server"
+	"bees/internal/telemetry"
+)
+
+// TestMetricsBackedByRegistry checks the Metrics accessor survived the
+// migration onto the telemetry registry: the counters it reports are the
+// registry's, whether the registry is private or caller-supplied.
+func TestMetricsBackedByRegistry(t *testing.T) {
+	_, addr := startServer(t)
+	reg := telemetry.NewRegistry()
+	c, err := DialOptions(addr, Options{Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, _, err := c.Stats(); err != nil {
+		t.Fatal(err)
+	}
+	s := reg.Snapshot()
+	if got := s.Counters["client.dials"]; got != 1 {
+		t.Fatalf("client.dials = %d, want 1", got)
+	}
+	if got := s.Counters["client.requests"]; got != 1 {
+		t.Fatalf("client.requests = %d, want 1", got)
+	}
+	m := c.Metrics()
+	if m.Retries != s.Counters["client.retries"] || m.Redials != s.Counters["client.dials"]-1 {
+		t.Fatalf("Metrics %+v disagrees with registry %v", m, s.Counters)
+	}
+}
+
+// TestMetricsDefaultPrivateRegistry checks a client without an explicit
+// registry still reports metrics (the pre-telemetry behaviour).
+func TestMetricsDefaultPrivateRegistry(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+	if _, _, err := c.Stats(); err != nil {
+		t.Fatal(err)
+	}
+	m := c.Metrics()
+	if m.Retries != 0 || m.Redials != 0 {
+		t.Fatalf("fresh client metrics = %+v, want zeros", m)
+	}
+}
+
+// TestPushTelemetryRoundTrip pushes a snapshot and checks the server
+// acknowledged and recorded it.
+func TestPushTelemetryRoundTrip(t *testing.T) {
+	srv := server.NewDefault()
+	serverReg := telemetry.NewRegistry()
+	tcp := server.NewTCPConfig(srv, server.TCPConfig{Telemetry: serverReg})
+	addr, err := tcp.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tcp.Close() })
+
+	clientReg := telemetry.NewRegistry()
+	clientReg.SetClock(telemetry.StepClock(time.Unix(0, 0), time.Millisecond))
+	clientReg.Counter("pipeline.batches").Inc()
+	c, err := DialOptions(addr.String(), Options{Telemetry: clientReg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.PushTelemetry(clientReg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	got := tcp.ClientSnapshot()
+	if got.Counters["pipeline.batches"] != 1 {
+		t.Fatalf("server did not record pushed snapshot: %+v", got.Counters)
+	}
+	// The push itself was counted as a client request in the same
+	// registry that was pushed (snapshot was taken before the push).
+	if v := clientReg.Counter("client.requests").Value(); v != 1 {
+		t.Fatalf("client.requests = %d, want 1", v)
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"bees/internal/dataset"
+	"bees/internal/energy"
+	"bees/internal/netsim"
+	"bees/internal/server"
+	"bees/internal/telemetry"
+)
+
+// TestPipelineDeterministic runs the full BEES pipeline twice on the same
+// seeded batch against fresh servers and asserts byte-identical results:
+// the BatchReport and the telemetry snapshot (spans timed by a step clock
+// so durations are reproducible). Any nondeterminism smuggled into the
+// pipeline — map iteration, unsynchronized parallel writes, wall-clock
+// leakage into telemetry — fails this test.
+func TestPipelineDeterministic(t *testing.T) {
+	run := func() (BatchReport, []byte) {
+		reg := telemetry.NewRegistry()
+		reg.SetClock(telemetry.StepClock(time.Unix(0, 0), time.Millisecond))
+		cfg := DefaultConfig()
+		cfg.Telemetry = reg
+		p := New(cfg)
+		srv := server.NewDefault()
+		dev := NewDevice(nil, netsim.NewLink(256000), energy.DefaultModel())
+		dev.Battery.SetEbat(0.6) // mid-battery so every EAAS knob is active
+		d := dataset.NewDisasterBatch(7, 24, 6, 0)
+		report := p.ProcessBatch(dev, srv, d.Batch)
+		snap, err := reg.Snapshot().MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return report, snap
+	}
+
+	r1, s1 := run()
+	r2, s2 := run()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("BatchReport differs across identical runs:\n%+v\n%+v", r1, r2)
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Errorf("telemetry snapshots differ across identical runs:\n%s\n---\n%s", s1, s2)
+	}
+	if r1.Uploaded == 0 {
+		t.Fatal("degenerate run: nothing uploaded")
+	}
+	// Sanity: the snapshot actually carries the stage spans and knobs.
+	var got struct {
+		Counters map[string]int64   `json:"counters"`
+		Gauges   map[string]float64 `json:"gauges"`
+	}
+	if err := json.Unmarshal(s1, &got); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"stage.afe.extract.count", "stage.ard.cbrd.count", "stage.aiu.upload.count",
+		"pipeline.bytes.saved", "pipeline.images.uploaded",
+	} {
+		if got.Counters[name] == 0 {
+			t.Errorf("snapshot missing %s", name)
+		}
+	}
+	for _, name := range []string{"eaas.ebat", "eaas.eac", "eaas.edr", "eaas.eau"} {
+		if _, ok := got.Gauges[name]; !ok {
+			t.Errorf("snapshot missing gauge %s", name)
+		}
+	}
+}

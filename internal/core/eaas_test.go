@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestEAASKnobCurves pins the three EAAS piecewise-linear curves at their
+// boundary and knot Ebat values (the knots of each curve are its clamp
+// points at Ebat = 0 and 1; between them the paper's fits are linear).
+func TestEAASKnobCurves(t *testing.T) {
+	const eps = 1e-12
+	tests := []struct {
+		name string
+		f    func(float64) float64
+		ebat float64
+		want float64
+	}{
+		// EAC: C = 0.4 − 0.4·Ebat, clamped into [0, 0.4].
+		{"EAC empty battery", EAC, 0, 0.4},
+		{"EAC quarter", EAC, 0.25, 0.3},
+		{"EAC half", EAC, 0.5, 0.2},
+		{"EAC full battery", EAC, 1, 0},
+		{"EAC clamps below 0", EAC, -0.5, 0.4},
+		{"EAC clamps above 1", EAC, 1.5, 0},
+
+		// EDR: T = 0.013 + 0.006·Ebat; 0.013 is the ~10% FPR floor.
+		{"EDR empty battery", EDR, 0, 0.013},
+		{"EDR half", EDR, 0.5, 0.016},
+		{"EDR full battery", EDR, 1, 0.019},
+		{"EDR clamps below 0", EDR, -2, 0.013},
+		{"EDR clamps above 1", EDR, 3, 0.019},
+
+		// SSMM's Tw is defined to be the same curve as EDR.
+		{"SSMMThreshold equals EDR at 0", SSMMThreshold, 0, 0.013},
+		{"SSMMThreshold equals EDR at 1", SSMMThreshold, 1, 0.019},
+
+		// EAU: Cr = 0.8 − 0.8·Ebat, clamped into [0, 0.8].
+		{"EAU empty battery", EAU, 0, 0.8},
+		{"EAU half", EAU, 0.5, 0.4},
+		{"EAU full battery", EAU, 1, 0},
+		{"EAU clamps below 0", EAU, -1, 0.8},
+		{"EAU clamps above 1", EAU, 2, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.f(tc.ebat); math.Abs(got-tc.want) > eps {
+				t.Fatalf("f(%g) = %g, want %g", tc.ebat, got, tc.want)
+			}
+		})
+	}
+}
+
+// toUnit maps an arbitrary generated float into [0, 1] so quick-generated
+// inputs exercise the meaningful domain.
+func toUnit(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0.5
+	}
+	return math.Abs(math.Mod(x, 1))
+}
+
+// TestEAASMonotonicity property-checks the directions the paper argues
+// from: with more energy, compression relaxes (EAC and EAU decrease) and
+// the redundancy bar rises (EDR increases). Also pins each curve's range.
+func TestEAASMonotonicity(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000}
+	ordered := func(x, y float64) (lo, hi float64) {
+		lo, hi = toUnit(x), toUnit(y)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return lo, hi
+	}
+
+	if err := quick.Check(func(x, y float64) bool {
+		lo, hi := ordered(x, y)
+		return EAC(lo) >= EAC(hi) && EAC(lo) >= 0 && EAC(lo) <= 0.4
+	}, cfg); err != nil {
+		t.Errorf("EAC must be non-increasing in Ebat with range [0, 0.4]: %v", err)
+	}
+	if err := quick.Check(func(x, y float64) bool {
+		lo, hi := ordered(x, y)
+		return EDR(lo) <= EDR(hi) && EDR(lo) >= 0.013 && EDR(hi) <= 0.019
+	}, cfg); err != nil {
+		t.Errorf("EDR must be non-decreasing in Ebat with range [0.013, 0.019]: %v", err)
+	}
+	if err := quick.Check(func(x, y float64) bool {
+		lo, hi := ordered(x, y)
+		return EAU(lo) >= EAU(hi) && EAU(lo) >= 0 && EAU(lo) <= 0.8
+	}, cfg); err != nil {
+		t.Errorf("EAU must be non-increasing in Ebat with range [0, 0.8]: %v", err)
+	}
+	if err := quick.Check(func(x float64) bool {
+		e := toUnit(x)
+		return SSMMThreshold(e) == EDR(e)
+	}, cfg); err != nil {
+		t.Errorf("SSMMThreshold must equal EDR everywhere: %v", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"bees/internal/imagelib"
 	"bees/internal/server"
 	"bees/internal/submod"
+	"bees/internal/telemetry"
 )
 
 // Config controls the BEES pipeline.
@@ -32,6 +33,10 @@ type Config struct {
 	DisableInBatch bool
 	// QueryResponseBytes models the per-image CBRD answer payload.
 	QueryResponseBytes int
+	// Telemetry, when set, receives per-stage spans, counters and the
+	// EAAS knob gauges for every processed batch (see DESIGN.md,
+	// "Observability"). Nil disables instrumentation at zero cost.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig returns the pipeline settings used in the evaluation.
@@ -81,6 +86,7 @@ func (p *Pipeline) Name() string {
 
 // ProcessBatch runs AFE → ARD (CBRD + IBRD) → AIU for one batch.
 func (p *Pipeline) ProcessBatch(dev *Device, srv ServerAPI, batch []*dataset.Image) BatchReport {
+	tel := p.cfg.Telemetry // nil-safe: every call below no-ops on nil
 	acct := BeginBatch(dev)
 	report := BatchReport{Scheme: p.Name(), Total: len(batch)}
 	if len(batch) == 0 {
@@ -92,24 +98,36 @@ func (p *Pipeline) ProcessBatch(dev *Device, srv ServerAPI, batch []*dataset.Ima
 	if p.cfg.Adaptive {
 		ebat = dev.Battery.Ebat()
 	}
+	tel.Counter("pipeline.batches").Inc()
+	tel.Counter("pipeline.images.total").Add(int64(len(batch)))
+	tel.Gauge("eaas.ebat").Set(ebat)
 
 	// --- AFE: extract ORB features from EAC-compressed bitmaps. -------
 	// Extraction runs on all host cores; the energy/delay accounting
 	// below charges the phone's per-image cost model regardless.
 	bitmapC := EAC(ebat)
+	tel.Gauge("eaas.eac").Set(bitmapC)
+	span := tel.StartSpan("afe.extract")
 	sets := extractAll(batch, bitmapC, p.cfg.Extraction)
+	span.End()
 	for range batch {
 		dev.Compute(dev.Model.ExtractEnergy(features.AlgORB, bitmapC), energy.CatExtract)
 	}
 
 	// Upload the features for the index queries (and later insertion).
+	descriptors := 0
 	for _, set := range sets {
 		report.FeatureBytes += set.Bytes()
+		descriptors += set.Len()
 	}
 	dev.Transmit(report.FeatureBytes, energy.CatFeatureTx)
+	tel.Counter("pipeline.extract.descriptors").Add(int64(descriptors))
+	tel.Counter("pipeline.bytes.features").Add(int64(report.FeatureBytes))
 
 	// --- ARD part 1: CBRD with the EDR threshold. ----------------------
 	threshold := EDR(ebat)
+	tel.Gauge("eaas.edr").Set(threshold)
+	span = tel.StartSpan("ard.cbrd")
 	survivors := make([]int, 0, len(batch))
 	for i := range batch {
 		if srv.QueryMax(sets[i]) > threshold {
@@ -118,13 +136,17 @@ func (p *Pipeline) ProcessBatch(dev *Device, srv ServerAPI, batch []*dataset.Ima
 		}
 		survivors = append(survivors, i)
 	}
+	span.End()
 	respBytes := p.cfg.QueryResponseBytes * len(batch)
 	report.FeedbackBytes += respBytes
 	dev.Receive(respBytes, energy.CatRx)
+	tel.Counter("pipeline.eliminated.cross").Add(int64(report.CrossEliminated))
+	tel.Counter("pipeline.bytes.feedback").Add(int64(respBytes))
 
 	// --- ARD part 2: IBRD via SSMM over the survivors. ------------------
 	selected := survivors
 	if !p.cfg.DisableInBatch && len(survivors) > 1 {
+		span = tel.StartSpan("ard.ibrd")
 		g := buildBatchGraph(sets, survivors, p.cfg.GraphDescriptors, p.cfg.HammingMax)
 		res := submod.Summarize(g, SSMMThreshold(ebat), p.cfg.SSMM)
 		selected = make([]int, 0, len(res.Selected))
@@ -132,10 +154,15 @@ func (p *Pipeline) ProcessBatch(dev *Device, srv ServerAPI, batch []*dataset.Ima
 			selected = append(selected, survivors[li])
 		}
 		report.InBatchEliminated = len(survivors) - len(selected)
+		span.End()
 	}
+	tel.Counter("pipeline.eliminated.inbatch").Add(int64(report.InBatchEliminated))
 
 	// --- AIU: quality + EAU resolution compression, then upload. -------
 	resC := EAU(ebat)
+	tel.Gauge("eaas.eau").Set(resC)
+	span = tel.StartSpan("aiu.upload")
+	uploadHist := tel.Histogram("pipeline.upload.bytes", telemetry.SizeBuckets())
 	for _, i := range selected {
 		img := batch[i]
 		raster := img.Render()
@@ -151,12 +178,23 @@ func (p *Pipeline) ProcessBatch(dev *Device, srv ServerAPI, batch []*dataset.Ima
 		})
 		report.ImageBytes += bytes
 		report.Uploaded++
+		uploadHist.Observe(int64(bytes))
 		img.Free()
 	}
+	span.End()
 	for _, img := range batch {
 		img.Free()
 	}
 	acct.Finish(dev, srv, &report)
+
+	tel.Counter("pipeline.images.uploaded").Add(int64(report.Uploaded))
+	tel.Counter("pipeline.bytes.images").Add(int64(report.ImageBytes))
+	// Bytes saved versus the Direct Upload baseline, which would have sent
+	// every batch image at the nominal full size with no feature overhead.
+	if saved := int64(len(batch))*imagelib.NominalBytes - int64(report.TotalBytes()); saved > 0 {
+		tel.Counter("pipeline.bytes.saved").Add(saved)
+	}
+	tel.Counter("pipeline.degraded").Add(int64(report.Degraded))
 	return report
 }
 

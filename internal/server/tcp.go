@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
@@ -8,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"bees/internal/telemetry"
 	"bees/internal/wire"
 )
 
@@ -27,6 +29,11 @@ type TCPConfig struct {
 	// DedupWindow is how many recent upload nonces are remembered for
 	// retry deduplication. Default 4096.
 	DedupWindow int
+	// Telemetry receives the server's wire counters (frames by type,
+	// dedup hits, accepted/rejected connections, upload bytes). Nil
+	// disables instrumentation; beesd passes the registry its
+	// -debug-addr endpoint serves.
+	Telemetry *telemetry.Registry
 }
 
 func (c TCPConfig) withDefaults() TCPConfig {
@@ -58,6 +65,13 @@ type TCPServer struct {
 	wg     sync.WaitGroup
 
 	dedup *uploadDedup
+	tel   *telemetry.Registry
+
+	// clientTel accumulates telemetry snapshots pushed by clients
+	// (wire.TelemetryPush) so beesd's /debug endpoint can expose the
+	// phone-side pipeline metrics next to the server's own.
+	clientTelMu sync.Mutex
+	clientTel   telemetry.Snapshot
 }
 
 // NewTCP wraps a Server for network serving with default hardening.
@@ -71,6 +85,7 @@ func NewTCPConfig(srv *Server, cfg TCPConfig) *TCPServer {
 		cfg:   cfg,
 		conns: make(map[net.Conn]struct{}),
 		dedup: newUploadDedup(cfg.DedupWindow),
+		tel:   cfg.Telemetry, // nil is a valid no-op sink
 	}
 }
 
@@ -104,11 +119,14 @@ func (t *TCPServer) acceptLoop() {
 			t.mu.Unlock()
 			log.Printf("beesd: rejecting %s: connection limit %d reached",
 				conn.RemoteAddr(), t.cfg.MaxConns)
+			t.tel.Counter("server.conns.rejected").Inc()
 			conn.Close()
 			continue
 		}
 		t.conns[conn] = struct{}{}
 		t.mu.Unlock()
+		t.tel.Counter("server.conns.accepted").Inc()
+		t.tel.Gauge("server.conns.active").Add(1)
 		t.wg.Add(1)
 		go t.serveConn(conn)
 	}
@@ -121,6 +139,7 @@ func (t *TCPServer) serveConn(conn net.Conn) {
 		t.mu.Lock()
 		delete(t.conns, conn)
 		t.mu.Unlock()
+		t.tel.Gauge("server.conns.active").Add(-1)
 	}()
 	for {
 		// The idle deadline covers the whole frame read: a peer that
@@ -143,26 +162,66 @@ func (t *TCPServer) handle(conn net.Conn, msg any) error {
 	if err := conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout)); err != nil {
 		return err
 	}
+	t.tel.Counter("server.frames.total").Inc()
 	switch m := msg.(type) {
 	case *wire.QueryRequest:
+		span := t.tel.StartSpan("server.query")
 		resp := &wire.QueryResponse{MaxSims: make([]float64, len(m.Sets))}
 		for i, set := range m.Sets {
 			resp.MaxSims[i] = t.srv.QueryMax(set)
 		}
+		span.End()
+		t.tel.Counter("server.frames.query").Inc()
+		t.tel.Counter("server.query.sets").Add(int64(len(m.Sets)))
 		return wire.WriteFrame(conn, resp)
 	case *wire.UploadRequest:
-		return wire.WriteFrame(conn, &wire.UploadResponse{ID: t.upload(m)})
+		span := t.tel.StartSpan("server.upload")
+		id := t.upload(m)
+		span.End()
+		t.tel.Counter("server.frames.upload").Inc()
+		return wire.WriteFrame(conn, &wire.UploadResponse{ID: id})
 	case *wire.StatsRequest:
+		t.tel.Counter("server.frames.stats").Inc()
 		st := t.srv.Stats()
 		return wire.WriteFrame(conn, &wire.StatsResponse{
 			Images:        int64(st.Images),
 			BytesReceived: st.BytesReceived,
 		})
+	case *wire.TelemetryPush:
+		t.tel.Counter("server.frames.telemetry").Inc()
+		var s telemetry.Snapshot
+		if err := json.Unmarshal(m.Snapshot, &s); err != nil {
+			return wire.WriteFrame(conn, &wire.ErrorResponse{
+				Message: "bad telemetry snapshot: " + err.Error(),
+			})
+		}
+		t.clientTelMu.Lock()
+		t.clientTel.Merge(s)
+		t.clientTelMu.Unlock()
+		return wire.WriteFrame(conn, &wire.TelemetryAck{})
 	default:
+		t.tel.Counter("server.frames.unknown").Inc()
 		return wire.WriteFrame(conn, &wire.ErrorResponse{
 			Message: fmt.Sprintf("unexpected message %T", msg),
 		})
 	}
+}
+
+// ClientSnapshot returns the accumulated client-pushed telemetry.
+func (t *TCPServer) ClientSnapshot() telemetry.Snapshot {
+	t.clientTelMu.Lock()
+	defer t.clientTelMu.Unlock()
+	var s telemetry.Snapshot
+	s.Merge(t.clientTel)
+	return s
+}
+
+// DebugSnapshot is what beesd's /debug/vars serves: the server's own
+// registry merged with everything clients have pushed.
+func (t *TCPServer) DebugSnapshot() telemetry.Snapshot {
+	s := t.tel.Snapshot()
+	s.Merge(t.ClientSnapshot())
+	return s
 }
 
 // upload applies an upload exactly once per nonce: a retried request
@@ -171,9 +230,12 @@ func (t *TCPServer) handle(conn net.Conn, msg any) error {
 func (t *TCPServer) upload(m *wire.UploadRequest) int64 {
 	if m.Nonce != 0 {
 		if id, ok := t.dedup.lookup(m.Nonce); ok {
+			t.tel.Counter("server.upload.dedup_hits").Inc()
 			return id
 		}
 	}
+	t.tel.Counter("server.upload.bytes").Add(int64(len(m.Blob)))
+	t.tel.Histogram("server.upload.blob_bytes", telemetry.SizeBuckets()).Observe(int64(len(m.Blob)))
 	set := m.Set
 	if set.Len() == 0 {
 		set = nil

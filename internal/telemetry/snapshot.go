@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Snapshot is a point-in-time copy of every registered metric. Maps
+// marshal with sorted keys, so two snapshots with equal contents encode
+// to identical JSON — the determinism tests compare the raw bytes.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// HistogramSnapshot is the frozen state of one histogram.
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	// Buckets lists only non-empty buckets, in bound order.
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Mean returns Sum/Count (0 when empty).
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Bucket is one non-empty histogram bucket. Le is the inclusive upper
+// bound; -1 marks the overflow bucket.
+type Bucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// Snapshot copies every metric's current value. It takes only the
+// registry's read lock (shared with the metric-lookup fast path), so it
+// never blocks writers updating existing metrics; a writer creating a
+// brand-new metric waits until the snapshot finishes. Values are loaded
+// atomically per metric but the snapshot is not a consistent cut across
+// metrics.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// Merge folds another snapshot into s: counters and histogram
+// count/sum/buckets accumulate, gauges take the other snapshot's value
+// (last writer wins — gauges are instantaneous readings). beesd uses
+// this to fold client-pushed pipeline snapshots into the document its
+// /debug endpoint serves.
+func (s *Snapshot) Merge(o Snapshot) {
+	if s.Counters == nil {
+		s.Counters = map[string]int64{}
+	}
+	if s.Gauges == nil {
+		s.Gauges = map[string]float64{}
+	}
+	if s.Histograms == nil {
+		s.Histograms = map[string]HistogramSnapshot{}
+	}
+	for k, v := range o.Counters {
+		s.Counters[k] += v
+	}
+	for k, v := range o.Gauges {
+		s.Gauges[k] = v
+	}
+	for k, oh := range o.Histograms {
+		s.Histograms[k] = mergeHist(s.Histograms[k], oh)
+	}
+}
+
+func mergeHist(a, b HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{Count: a.Count + b.Count, Sum: a.Sum + b.Sum}
+	byLe := map[int64]int64{}
+	for _, bk := range a.Buckets {
+		byLe[bk.Le] += bk.Count
+	}
+	for _, bk := range b.Buckets {
+		byLe[bk.Le] += bk.Count
+	}
+	les := make([]int64, 0, len(byLe))
+	for le := range byLe {
+		les = append(les, le)
+	}
+	// Bound order with the overflow bucket (-1) last.
+	sort.Slice(les, func(i, j int) bool {
+		if les[i] == -1 {
+			return false
+		}
+		if les[j] == -1 {
+			return true
+		}
+		return les[i] < les[j]
+	})
+	for _, le := range les {
+		out.Buckets = append(out.Buckets, Bucket{Le: le, Count: byLe[le]})
+	}
+	return out
+}
+
+// MarshalIndent encodes the snapshot as deterministic, human-readable
+// JSON (sorted keys, two-space indent).
+func (s Snapshot) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Render pretty-prints the snapshot for terminals (beesctl stats):
+// sorted sections, durations in histogram rows reported as count + mean.
+func (s Snapshot) Render() string {
+	var b strings.Builder
+	section := func(title string) { fmt.Fprintf(&b, "%s:\n", title) }
+	if len(s.Counters) > 0 {
+		section("counters")
+		for _, k := range sortedKeys(s.Counters) {
+			fmt.Fprintf(&b, "  %-40s %d\n", k, s.Counters[k])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		section("gauges")
+		for _, k := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(&b, "  %-40s %g\n", k, s.Gauges[k])
+		}
+	}
+	if len(s.Histograms) > 0 {
+		section("histograms")
+		for _, k := range sortedKeys(s.Histograms) {
+			h := s.Histograms[k]
+			fmt.Fprintf(&b, "  %-40s n=%d sum=%d mean=%.1f\n", k, h.Count, h.Sum, h.Mean())
+		}
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

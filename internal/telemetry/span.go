@@ -1,0 +1,36 @@
+package telemetry
+
+import "time"
+
+// Span measures one stage execution. StartSpan reads the registry clock;
+// End reads it again and records the elapsed nanoseconds into the
+// histogram "stage.<name>.duration_ns" (shared DurationBuckets layout)
+// and increments "stage.<name>.count". Spans are values — copy freely,
+// End exactly once. A span from a nil registry is a no-op.
+type Span struct {
+	r     *Registry
+	name  string
+	start time.Time
+}
+
+// StartSpan begins timing the named stage.
+func (r *Registry) StartSpan(stage string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{r: r, name: stage, start: r.Now()}
+}
+
+// End stops the span, records it, and returns the elapsed duration.
+func (s Span) End() time.Duration {
+	if s.r == nil {
+		return 0
+	}
+	d := s.r.Now().Sub(s.start)
+	if d < 0 {
+		d = 0
+	}
+	s.r.Histogram("stage."+s.name+".duration_ns", durationBuckets).Observe(d.Nanoseconds())
+	s.r.Counter("stage." + s.name + ".count").Inc()
+	return d
+}

@@ -1,0 +1,136 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bees/internal/features"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the wire golden fixtures")
+
+// goldenFrames is the canonical frame set: one instance of every message
+// type with fixed contents. The encoded bytes are pinned in
+// testdata/frames.golden so any accidental change to the wire format —
+// field order, widths, endianness, a new mandatory field — fails loudly
+// instead of silently desynchronizing deployed clients and servers.
+// (FuzzReadFrame covers decoder robustness; this covers format
+// stability.)
+func goldenFrames() []struct {
+	name string
+	msg  any
+} {
+	set := &features.BinarySet{Descriptors: []features.Descriptor{
+		{0x0102030405060708, 0x1112131415161718, 0x2122232425262728, 0x3132333435363738},
+		{0xfffefdfcfbfaf9f8, 0, 1, 0x8000000000000000},
+	}}
+	return []struct {
+		name string
+		msg  any
+	}{
+		{"query_request", &QueryRequest{Sets: []*features.BinarySet{set, {}}}},
+		{"query_response", &QueryResponse{MaxSims: []float64{0, 0.013, 1}}},
+		{"upload_request", &UploadRequest{
+			Nonce:   0xdeadbeefcafebabe,
+			Set:     set,
+			GroupID: -7,
+			Lat:     35.6812,
+			Lon:     139.7671,
+			Blob:    []byte("blob-bytes"),
+		}},
+		{"upload_response", &UploadResponse{ID: 42}},
+		{"stats_request", &StatsRequest{}},
+		{"stats_response", &StatsResponse{Images: 7, BytesReceived: 9000}},
+		{"error_response", &ErrorResponse{Message: "boom"}},
+		{"telemetry_push", &TelemetryPush{Snapshot: []byte(`{"counters":{"pipeline.batches":1}}`)}},
+		{"telemetry_ack", &TelemetryAck{}},
+	}
+}
+
+func goldenPath() string { return filepath.Join("testdata", "frames.golden") }
+
+func readGolden(t *testing.T) map[string]string {
+	t.Helper()
+	f, err := os.Open(goldenPath())
+	if err != nil {
+		t.Fatalf("missing golden fixture (run `go test ./internal/wire -run TestGolden -update`): %v", err)
+	}
+	defer f.Close()
+	out := map[string]string{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, hexBytes, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("malformed golden line: %q", line)
+		}
+		out[name] = hexBytes
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestGoldenFrames compares the canonical frame set against the
+// checked-in hex fixtures, both directions: encode must reproduce the
+// fixture bytes, and decoding the fixture bytes must round-trip to the
+// identical encoding.
+func TestGoldenFrames(t *testing.T) {
+	frames := goldenFrames()
+	if *updateGolden {
+		var b strings.Builder
+		b.WriteString("# Canonical wire frames, hex-encoded: [u32 len][u8 type][payload], little-endian.\n")
+		b.WriteString("# Regenerate with: go test ./internal/wire -run TestGolden -update\n")
+		for _, fr := range frames {
+			fmt.Fprintf(&b, "%s %s\n", fr.name, hex.EncodeToString(encodeFrame(t, fr.msg)))
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath(), []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	golden := readGolden(t)
+	if len(golden) != len(frames) {
+		t.Errorf("fixture has %d frames, test has %d — regenerate with -update", len(golden), len(frames))
+	}
+	for _, fr := range frames {
+		wantHex, ok := golden[fr.name]
+		if !ok {
+			t.Errorf("%s: missing from golden fixture", fr.name)
+			continue
+		}
+		enc := encodeFrame(t, fr.msg)
+		if got := hex.EncodeToString(enc); got != wantHex {
+			t.Errorf("%s: encoding changed\n got %s\nwant %s", fr.name, got, wantHex)
+			continue
+		}
+		// Round trip: the fixture bytes decode and re-encode identically.
+		want, err := hex.DecodeString(wantHex)
+		if err != nil {
+			t.Fatalf("%s: bad fixture hex: %v", fr.name, err)
+		}
+		msg, err := ReadFrame(bytes.NewReader(want))
+		if err != nil {
+			t.Errorf("%s: fixture no longer decodes: %v", fr.name, err)
+			continue
+		}
+		if re := encodeFrame(t, msg); !bytes.Equal(re, want) {
+			t.Errorf("%s: decode/encode round trip altered bytes\n got %x\nwant %x", fr.name, re, want)
+		}
+	}
+}

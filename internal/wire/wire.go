@@ -44,6 +44,8 @@ const (
 	MsgStatsRequest
 	MsgStatsResponse
 	MsgError
+	MsgTelemetryPush
+	MsgTelemetryAck
 )
 
 // MaxFrameBytes bounds a frame to keep a malformed peer from forcing a
@@ -103,6 +105,20 @@ type ErrorResponse struct {
 	Message string
 }
 
+// TelemetryPush uploads a client-side telemetry snapshot so the server's
+// /debug endpoint can expose per-stage pipeline metrics alongside its
+// own. The payload is an opaque JSON-encoded telemetry.Snapshot — the
+// wire layer does not interpret it, so the metric schema can evolve
+// without a protocol change. Pushing is idempotent enough for the
+// standard retry path: a duplicated push merges counters twice, which
+// only overstates client activity and never corrupts server accounting.
+type TelemetryPush struct {
+	Snapshot []byte
+}
+
+// TelemetryAck acknowledges a TelemetryPush.
+type TelemetryAck struct{}
+
 // WriteFrame encodes a message and writes one frame.
 func WriteFrame(w io.Writer, msg any) error {
 	var typ MsgType
@@ -123,6 +139,10 @@ func WriteFrame(w io.Writer, msg any) error {
 		payload = append(encodeU64(uint64(m.Images)), encodeU64(uint64(m.BytesReceived))...)
 	case *ErrorResponse:
 		typ, payload = MsgError, []byte(m.Message)
+	case *TelemetryPush:
+		typ, payload = MsgTelemetryPush, m.Snapshot
+	case *TelemetryAck:
+		typ, payload = MsgTelemetryAck, nil
 	default:
 		return fmt.Errorf("%w: %T", ErrUnencodable, msg)
 	}
@@ -179,6 +199,13 @@ func ReadFrame(r io.Reader) (any, error) {
 		}, nil
 	case MsgError:
 		return &ErrorResponse{Message: string(payload)}, nil
+	case MsgTelemetryPush:
+		return &TelemetryPush{Snapshot: payload}, nil
+	case MsgTelemetryAck:
+		if len(payload) != 0 {
+			return nil, errors.New("wire: bad telemetry ack")
+		}
+		return &TelemetryAck{}, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", typ)
 	}

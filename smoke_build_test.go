@@ -1,0 +1,32 @@
+package bees
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestCommandsAndExamplesBuildAndVet compiles and vets every cmd/ and
+// examples/ package. `go build ./...` in tier-1 compiles them, but no
+// test imported them, so a vet-level break (or a main package that rots
+// behind a build cache) could slip through a plain `go test ./...` run.
+// This smoke test closes that gap from inside the test suite itself.
+func TestCommandsAndExamplesBuildAndVet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("toolchain smoke test skipped in -short mode")
+	}
+	gobin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go toolchain not on PATH: %v", err)
+	}
+	// The test binary runs in the package directory — the module root —
+	// so the relative patterns resolve against this repo.
+	for _, args := range [][]string{
+		{"build", "./cmd/...", "./examples/..."},
+		{"vet", "./cmd/...", "./examples/..."},
+	} {
+		cmd := exec.Command(gobin, args...)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Errorf("go %v failed: %v\n%s", args, err, out)
+		}
+	}
+}
