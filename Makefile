@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build tier1 tier2 fuzz
+.PHONY: all build tier1 tier2 fuzz bench
 
 all: tier1
 
@@ -19,12 +19,28 @@ tier1: build
 
 # tier2's race run covers the telemetry registry's concurrency tests
 # (internal/telemetry: parallel writers + snapshot readers) — the race
-# detector is what makes them a proof rather than a smoke test.
+# detector is what makes them a proof rather than a smoke test. The
+# explicit -timeout generously covers the sim/harness packages, whose
+# CPU-bound lifetime simulations can exceed go test's default 10m
+# per-package budget under the race detector's slowdown on small
+# (single-core CI) machines; a genuine deadlock still fails, just later.
 tier2:
 	$(GO) vet ./...
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 45m ./...
 
 # Short fuzz burst over the wire decoder (seed corpus always runs as part
 # of tier1; this explores beyond it).
 fuzz:
 	$(GO) test ./internal/wire -fuzz FuzzReadFrame -fuzztime 30s
+
+# Index + pipeline micro-benchmarks with allocation stats, written as
+# BENCH_pipeline.json. The raw `go test -bench` text is embedded under
+# the "raw" key, so a baseline for benchstat is one jq away:
+#   jq -r .raw BENCH_pipeline.json > old.txt && benchstat old.txt new.txt
+# The pipeline benchmark runs whole 16-image batches, so it gets a fixed
+# small iteration count; the index benchmarks use the default 1s budget.
+bench:
+	@{ $(GO) test ./internal/index -run '^$$' -bench . -benchmem ; \
+	   $(GO) test ./internal/core -run '^$$' -bench . -benchmem -benchtime 3x ; } \
+	  | $(GO) run ./cmd/bench2json > BENCH_pipeline.json
+	@echo "wrote BENCH_pipeline.json"

@@ -9,10 +9,12 @@ import (
 	"bees/internal/dataset"
 	"bees/internal/energy"
 	"bees/internal/features"
+	"bees/internal/index"
 	"bees/internal/netsim"
 	"bees/internal/server"
 	"bees/internal/sim"
 	"bees/internal/submod"
+	"bees/internal/telemetry"
 )
 
 // Core types re-exported for users of the public API.
@@ -47,6 +49,14 @@ type (
 	CoverageConfig = sim.CoverageConfig
 	// CoverageResult reports a coverage simulation.
 	CoverageResult = sim.CoverageResult
+	// IndexConfig parameterizes the server's similarity index (LSH
+	// tables, candidate limits, lock-stripe shard count).
+	IndexConfig = index.Config
+	// Telemetry is the metrics registry servers, clients and pipelines
+	// report into; share one instance to scrape everything at once.
+	Telemetry = telemetry.Registry
+	// UploadItem is one image in a batched server upload.
+	UploadItem = server.UploadItem
 )
 
 // Energy categories of BatchReport.Energy, re-exported for breakdowns.
@@ -80,8 +90,45 @@ func NewMRC() Scheme { return baseline.NewMRC() }
 // NewBEESEA returns BEES without energy-aware adaptation.
 func NewBEESEA() Scheme { return baseline.NewBEESEA() }
 
-// NewServer creates a cloud server with the default index configuration.
-func NewServer() *Server { return server.NewDefault() }
+// serverConfig collects functional options for NewServer.
+type serverConfig struct {
+	idx index.Config
+	tel *telemetry.Registry
+}
+
+// ServerOption customizes NewServer, mirroring NewDevice's options.
+type ServerOption func(*serverConfig)
+
+// WithIndexConfig replaces the similarity-index configuration.
+func WithIndexConfig(cfg IndexConfig) ServerOption {
+	return func(c *serverConfig) { c.idx = cfg }
+}
+
+// WithShards sets the index lock-stripe count: more shards means less
+// write contention under concurrent uploads, at a small per-query
+// fan-out cost. Results are identical for every shard count.
+func WithShards(n int) ServerOption {
+	return func(c *serverConfig) { c.idx.Shards = n }
+}
+
+// WithServerTelemetry attaches a metrics registry to the server, which
+// then counts index queries and uploads ("server.index.*").
+func WithServerTelemetry(reg *Telemetry) ServerOption {
+	return func(c *serverConfig) { c.tel = reg }
+}
+
+// NewTelemetry creates an empty metrics registry.
+func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
+
+// NewServer creates a cloud server; with no options it is identical to
+// one with the default index configuration.
+func NewServer(opts ...ServerOption) *Server {
+	cfg := serverConfig{idx: index.DefaultConfig()}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return server.NewWithConfig(server.Config{Index: cfg.idx, Telemetry: cfg.tel})
+}
 
 // deviceConfig collects functional options for NewDevice.
 type deviceConfig struct {
@@ -168,11 +215,18 @@ func NewParis(seed int64, images, locations int) *ParisSet {
 // SeedServer indexes a batch's server twins so its cross-batch
 // redundancy ratio takes effect (bytes are not counted as uploads).
 func SeedServer(srv *Server, d *DisasterBatch) {
+	// Rendering + extraction dominates seeding time, so it runs across
+	// all host cores; the index inserts stay serial so seeded IDs are
+	// assigned deterministically.
 	cfg := features.DefaultConfig()
-	for _, tw := range d.ServerTwins {
-		srv.SeedIndex(features.ExtractORB(tw.Render(), cfg),
-			server.UploadMeta{GroupID: tw.GroupID, Lat: tw.Lat, Lon: tw.Lon})
+	sets := make([]*features.BinarySet, len(d.ServerTwins))
+	core.ForEachIndex(len(d.ServerTwins), func(i int) {
+		tw := d.ServerTwins[i]
+		sets[i] = features.ExtractORB(tw.Render(), cfg)
 		tw.Free()
+	})
+	for i, tw := range d.ServerTwins {
+		srv.SeedIndex(sets[i], server.UploadMeta{GroupID: tw.GroupID, Lat: tw.Lat, Lon: tw.Lon})
 	}
 }
 
@@ -204,19 +258,20 @@ func DefaultCoverageConfig(seed int64) CoverageConfig {
 // similarity clusters (index slices into batch). This is the in-batch
 // redundancy detector of the pipeline exposed as an album summarizer.
 func SummarizeBatch(batch []*Image, ebat float64) (selected []*Image, clusters [][]int) {
-	cfg := features.DefaultConfig()
-	sets := make([]*features.BinarySet, len(batch))
-	for i, img := range batch {
-		sets[i] = features.ExtractORB(img.Render(), cfg)
+	// Built on the pipeline's own helpers (host-parallel extraction and
+	// graph construction with the IBRD knobs), so the standalone
+	// summarizer and in-pipeline IBRD stay consistent as config changes.
+	cfg := core.DefaultConfig()
+	sets := core.ExtractAll(batch, 0, cfg.Extraction)
+	for _, img := range batch {
 		img.Free()
 	}
-	g := submod.NewGraph(len(batch))
-	for a := 0; a < len(batch); a++ {
-		for b := a + 1; b < len(batch); b++ {
-			g.SetWeight(a, b, features.JaccardBinary(sets[a], sets[b], features.DefaultHammingMax))
-		}
+	all := make([]int, len(batch))
+	for i := range all {
+		all[i] = i
 	}
-	res := submod.Summarize(g, core.SSMMThreshold(ebat), submod.DefaultOptions())
+	g := core.BuildBatchGraph(sets, all, cfg.GraphDescriptors, cfg.HammingMax)
+	res := submod.Summarize(g, core.SSMMThreshold(ebat), cfg.SSMM)
 	selected = make([]*Image, 0, len(res.Selected))
 	for _, i := range res.Selected {
 		selected = append(selected, batch[i])

@@ -42,19 +42,25 @@ var _ core.Scheme = Direct{}
 // Name implements core.Scheme.
 func (Direct) Name() string { return "Direct Upload" }
 
-// ProcessBatch uploads every image at full size and quality.
+// ProcessBatch uploads every image at full size and quality — as one
+// batched upload, so even the naive baseline pays O(1) round trips over
+// a network transport.
 func (Direct) ProcessBatch(dev *core.Device, srv core.ServerAPI, batch []*dataset.Image) core.BatchReport {
 	acct := core.BeginBatch(dev)
 	report := core.BatchReport{Scheme: Direct{}.Name(), Total: len(batch)}
+	items := make([]server.UploadItem, 0, len(batch))
 	for _, img := range batch {
 		bytes := img.SizeModel().Bytes(img.Render(), 0)
 		dev.Transmit(bytes, energy.CatImageTx)
-		srv.Upload(nil, server.UploadMeta{
+		items = append(items, server.UploadItem{Meta: server.UploadMeta{
 			GroupID: img.GroupID, Lat: img.Lat, Lon: img.Lon, Bytes: bytes,
-		})
+		}})
 		report.ImageBytes += bytes
 		report.Uploaded++
 		img.Free()
+	}
+	if len(items) > 0 {
+		srv.UploadBatch(items)
 	}
 	acct.Finish(dev, srv, &report)
 	return report
@@ -168,13 +174,15 @@ func (m MRC) ProcessBatch(dev *core.Device, srv core.ServerAPI, batch []*dataset
 // BEES's IBRD addresses), then the survivors upload at full size.
 func uploadSurvivors(dev *core.Device, srv core.ServerAPI, batch []*dataset.Image,
 	orbSets []*features.BinarySet, report *core.BatchReport) {
+	sims := srv.QueryMaxBatch(orbSets)
 	redundant := make([]bool, len(batch))
 	for i := range batch {
-		if srv.QueryMax(orbSets[i]) > FixedThreshold {
+		if sims[i] > FixedThreshold {
 			redundant[i] = true
 			report.CrossEliminated++
 		}
 	}
+	items := make([]server.UploadItem, 0, len(batch))
 	for i, img := range batch {
 		if redundant[i] {
 			img.Free()
@@ -182,12 +190,15 @@ func uploadSurvivors(dev *core.Device, srv core.ServerAPI, batch []*dataset.Imag
 		}
 		bytes := img.SizeModel().Bytes(img.Render(), 0)
 		dev.Transmit(bytes, energy.CatImageTx)
-		srv.Upload(orbSets[i], server.UploadMeta{
+		items = append(items, server.UploadItem{Set: orbSets[i], Meta: server.UploadMeta{
 			GroupID: img.GroupID, Lat: img.Lat, Lon: img.Lon, Bytes: bytes,
-		})
+		}})
 		report.ImageBytes += bytes
 		report.Uploaded++
 		img.Free()
+	}
+	if len(items) > 0 {
+		srv.UploadBatch(items)
 	}
 }
 

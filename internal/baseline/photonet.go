@@ -83,6 +83,7 @@ func (p PhotoNet) ProcessBatch(dev *core.Device, srv core.ServerAPI, batch []*da
 			}
 		}
 	}
+	items := make([]server.UploadItem, 0, len(batch))
 	for i, img := range batch {
 		if redundant[i] {
 			img.Free()
@@ -91,13 +92,16 @@ func (p PhotoNet) ProcessBatch(dev *core.Device, srv core.ServerAPI, batch []*da
 		bytes := img.SizeModel().Bytes(img.Render(), 0)
 		dev.Transmit(bytes, energy.CatImageTx)
 		g := globals[i]
-		srv.Upload(nil, server.UploadMeta{
+		items = append(items, server.UploadItem{Meta: server.UploadMeta{
 			GroupID: img.GroupID, Lat: img.Lat, Lon: img.Lon,
 			Bytes: bytes, Global: &g,
-		})
+		}})
 		report.ImageBytes += bytes
 		report.Uploaded++
 		img.Free()
+	}
+	if len(items) > 0 {
+		srv.UploadBatch(items)
 	}
 	acct.Finish(dev, srv, &report)
 	return report

@@ -14,12 +14,14 @@ import (
 // chaosClient dials srv through a seeded fault-injecting link: latency,
 // stalls longer than the request deadline, mid-frame resets via chunked
 // partial writes. Probabilities are per chunk, so they are calibrated
-// low — an upload frame is hundreds of chunks.
+// low — a batched query or upload frame is hundreds of chunks, and the
+// request deadline must admit a whole batch frame at the injected
+// latency while still cutting off a stall.
 func chaosClient(t *testing.T, addr string, seed int64) *Client {
 	t.Helper()
 	c, err := DialOptions(addr, Options{
 		DialTimeout:    2 * time.Second,
-		RequestTimeout: 500 * time.Millisecond,
+		RequestTimeout: 2 * time.Second,
 		MaxRetries:     12,
 		BackoffBase:    2 * time.Millisecond,
 		BackoffMax:     20 * time.Millisecond,
@@ -29,8 +31,8 @@ func chaosClient(t *testing.T, addr string, seed int64) *Client {
 			Latency:       200 * time.Microsecond,
 			LatencyJitter: time.Millisecond,
 			StallProb:     0.0005,
-			StallFor:      700 * time.Millisecond, // beyond the deadline
-			ResetProb:     0.002,
+			StallFor:      3 * time.Second, // beyond the deadline
+			ResetProb:     0.001,
 			MaxWriteChunk: 4096,
 		}),
 	})

@@ -51,6 +51,10 @@ type Options struct {
 	// and 2s.
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
+	// UploadWindow caps how many images one batched-upload frame carries;
+	// UploadBatch splits larger batches into successive frames so a single
+	// frame never approaches wire.MaxFrameBytes. Default 32.
+	UploadWindow int
 	// Seed fixes the jitter and nonce RNG for reproducible tests; 0 draws
 	// a random seed.
 	Seed int64
@@ -79,6 +83,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BackoffMax <= 0 {
 		o.BackoffMax = 2 * time.Second
+	}
+	if o.UploadWindow <= 0 {
+		o.UploadWindow = 32
 	}
 	if o.Seed == 0 {
 		o.Seed = rand.Int63()
@@ -367,6 +374,58 @@ func (c *Client) Upload(set *features.BinarySet, groupID int64, lat, lon float64
 		return 0, fmt.Errorf("client: unexpected response %T", resp)
 	}
 	return ur.ID, nil
+}
+
+// maxBatchFrameBytes caps the approximate payload of one batched-upload
+// frame so even Direct-upload-sized blobs stay far below the protocol's
+// wire.MaxFrameBytes limit.
+const maxBatchFrameBytes = 16 << 20
+
+// UploadBatch sends a batch of images in as few round trips as the frame
+// budget allows: up to Options.UploadWindow images (and roughly
+// maxBatchFrameBytes of payload) per frame. Each frame carries one fresh
+// nonce covering all its items, so a retried frame can never store or
+// count any of them twice. It returns the server-assigned IDs in item
+// order; on error the IDs of the chunks that did complete are returned
+// alongside it.
+func (c *Client) UploadBatch(items []wire.UploadBatchItem) ([]int64, error) {
+	ids := make([]int64, 0, len(items))
+	for start := 0; start < len(items); {
+		end, bytes := start, 0
+		for end < len(items) && end-start < c.opts.UploadWindow {
+			sz := len(items[end].Blob)
+			if set := items[end].Set; set != nil {
+				sz += len(set.Descriptors) * 32
+			}
+			if end > start && bytes+sz > maxBatchFrameBytes {
+				break
+			}
+			bytes += sz
+			end++
+		}
+		chunk, err := c.uploadBatchChunk(items[start:end])
+		if err != nil {
+			return ids, err
+		}
+		ids = append(ids, chunk...)
+		start = end
+	}
+	return ids, nil
+}
+
+func (c *Client) uploadBatchChunk(items []wire.UploadBatchItem) ([]int64, error) {
+	resp, err := c.roundTrip(&wire.UploadBatchRequest{Nonce: c.newNonce(), Items: items})
+	if err != nil {
+		return nil, err
+	}
+	br, ok := resp.(*wire.UploadBatchResponse)
+	if !ok {
+		return nil, fmt.Errorf("client: unexpected response %T", resp)
+	}
+	if len(br.IDs) != len(items) {
+		return nil, fmt.Errorf("client: got %d ids for %d uploaded items", len(br.IDs), len(items))
+	}
+	return br.IDs, nil
 }
 
 // newNonce draws a nonzero upload nonce. Called before roundTrip takes

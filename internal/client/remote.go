@@ -7,6 +7,7 @@ import (
 	"bees/internal/features"
 	"bees/internal/index"
 	"bees/internal/server"
+	"bees/internal/wire"
 )
 
 // RemoteServer adapts a Client to core.ServerAPI so the full BEES
@@ -29,35 +30,79 @@ type RemoteServer struct {
 // NewRemoteServer wraps a connected client.
 func NewRemoteServer(c *Client) *RemoteServer { return &RemoteServer{c: c} }
 
-// QueryMax implements core.ServerAPI over the wire.
+// QueryMaxBatch implements core.ServerAPI over the wire: the whole
+// batch's CBRD query costs one round trip. A request whose retry budget
+// is exhausted degrades every set it carried — each image reports
+// similarity 0 and is treated as unique.
+func (r *RemoteServer) QueryMaxBatch(sets []*features.BinarySet) []float64 {
+	sims, err := r.c.QueryMax(sets)
+	if err != nil {
+		r.degradeN(err, len(sets))
+		log.Printf("beesctl: batch query failed, treating %d images as unique: %v", len(sets), err)
+		return make([]float64, len(sets))
+	}
+	return sims
+}
+
+// UploadBatch implements core.ServerAPI over the wire. Each item's blob
+// is a payload of exactly Meta.Bytes bytes so the transport carries the
+// real (compressed) image size. On failure only the items of the frames
+// that never completed count as degraded.
+func (r *RemoteServer) UploadBatch(items []server.UploadItem) error {
+	wireItems := make([]wire.UploadBatchItem, len(items))
+	for i, it := range items {
+		set := it.Set
+		if set == nil {
+			set = &features.BinarySet{}
+		}
+		wireItems[i] = wire.UploadBatchItem{
+			Set:     set,
+			GroupID: it.Meta.GroupID,
+			Lat:     it.Meta.Lat,
+			Lon:     it.Meta.Lon,
+			Blob:    make([]byte, it.Meta.Bytes),
+		}
+	}
+	ids, err := r.c.UploadBatch(wireItems)
+	if err != nil {
+		r.degradeN(err, len(items)-len(ids))
+		log.Printf("beesctl: batch upload failed after %d of %d items: %v", len(ids), len(items), err)
+		return err
+	}
+	return nil
+}
+
+// QueryMax is the legacy per-image query, kept for per-image callers
+// (core.PerImage wraps it for the batched-vs-legacy equivalence tests).
 func (r *RemoteServer) QueryMax(set *features.BinarySet) float64 {
 	sims, err := r.c.QueryMax([]*features.BinarySet{set})
 	if err != nil {
-		r.degrade(err)
+		r.degradeN(err, 1)
 		log.Printf("beesctl: query failed, treating image as unique: %v", err)
 		return 0
 	}
 	return sims[0]
 }
 
-// Upload implements core.ServerAPI over the wire. The blob is a payload
-// of exactly meta.Bytes bytes so the transport carries the real
-// (compressed) image size.
+// Upload is the legacy per-image upload; see QueryMax.
 func (r *RemoteServer) Upload(set *features.BinarySet, meta server.UploadMeta) index.ImageID {
 	blob := make([]byte, meta.Bytes)
 	id, err := r.c.Upload(set, meta.GroupID, meta.Lat, meta.Lon, blob)
 	if err != nil {
-		r.degrade(err)
+		r.degradeN(err, 1)
 		log.Printf("beesctl: upload failed: %v", err)
 		return -1
 	}
 	return index.ImageID(id)
 }
 
-func (r *RemoteServer) degrade(err error) {
+func (r *RemoteServer) degradeN(err error, n int) {
+	if n <= 0 {
+		return
+	}
 	r.mu.Lock()
 	r.lastErr = err
-	r.degraded++
+	r.degraded += n
 	r.mu.Unlock()
 }
 

@@ -1,0 +1,87 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"bees/internal/baseline"
+	"bees/internal/core"
+	"bees/internal/dataset"
+	"bees/internal/energy"
+	"bees/internal/netsim"
+	"bees/internal/telemetry"
+)
+
+// latencyClient dials srv through a link that injects latency on every
+// I/O but never faults, and exposes the registry whose "client.requests"
+// counter is the logical round-trip count (it increments once per
+// request, before any retries).
+func latencyClient(t *testing.T, addr string) (*Client, *telemetry.Registry) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	c, err := DialOptions(addr, Options{
+		RequestTimeout: 10 * time.Second,
+		MaxRetries:     2,
+		Seed:           1,
+		Telemetry:      reg,
+		Dial: netsim.FaultyDialer(netsim.FaultConfig{
+			Seed:    1,
+			Latency: 2 * time.Millisecond,
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, reg
+}
+
+// TestBatchRoundTripsBounded pins the tentpole's wire economics: a
+// 64-image batch must complete CBRD + AIU in O(1) round trips — one
+// batched query plus one batched upload per AIU window — where the
+// legacy per-image path (core.PerImage over the same RemoteServer) pays
+// at least one round trip per image. Under the injected per-I/O latency
+// that difference is exactly where the paper's upload chatter goes.
+func TestBatchRoundTripsBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-image pipeline run takes a few seconds")
+	}
+	const total = 64
+	run := func(wrap func(*RemoteServer) core.ServerAPI) (core.BatchReport, int64) {
+		_, addr := startServer(t)
+		c, reg := latencyClient(t, addr)
+		remote := NewRemoteServer(c)
+		dev := core.NewDevice(nil, netsim.NewLink(256000), energy.DefaultModel())
+		d := dataset.NewDisasterBatch(77, total, 8, 0)
+		r := baseline.NewBEES().ProcessBatch(dev, wrap(remote), d.Batch)
+		return r, reg.Counter("client.requests").Value()
+	}
+
+	batched, batchedTrips := run(func(r *RemoteServer) core.ServerAPI { return r })
+	if batched.Degraded != 0 {
+		t.Fatalf("latency-only link degraded %d requests", batched.Degraded)
+	}
+	// One CBRD query frame plus one upload frame per AIU window of the
+	// default pipeline config.
+	window := core.DefaultConfig().UploadWindow
+	maxTrips := int64(1 + (batched.Uploaded+window-1)/window)
+	if batchedTrips > maxTrips {
+		t.Fatalf("batched pipeline used %d round trips for %d images (%d uploads), want <= %d",
+			batchedTrips, total, batched.Uploaded, maxTrips)
+	}
+
+	legacy, legacyTrips := run(func(r *RemoteServer) core.ServerAPI { return core.PerImage{API: r} })
+	if legacy.Degraded != 0 {
+		t.Fatalf("legacy path degraded %d requests", legacy.Degraded)
+	}
+	if legacyTrips < int64(total) {
+		t.Fatalf("legacy path used %d round trips, expected >= %d (one query per image)",
+			legacyTrips, total)
+	}
+	if batched.Uploaded != legacy.Uploaded || batched.TotalBytes() != legacy.TotalBytes() {
+		t.Fatalf("batched and legacy paths disagree on outcomes:\nbatched: %+v\nlegacy:  %+v",
+			batched, legacy)
+	}
+	t.Logf("round trips: batched=%d legacy=%d (%d images, %d uploaded)",
+		batchedTrips, legacyTrips, total, batched.Uploaded)
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"bees/internal/dataset"
+	"bees/internal/energy"
+	"bees/internal/features"
+	"bees/internal/netsim"
+	"bees/internal/server"
+)
+
+// BenchmarkPipelineProcessBatch measures one full AFE → ARD → AIU pass
+// over a 16-image batch against an in-process server. The server is
+// rebuilt outside the timer each iteration (from pre-extracted seed
+// sets) so every measured pass sees the same index state.
+func BenchmarkPipelineProcessBatch(b *testing.B) {
+	d := dataset.NewDisasterBatch(55, 16, 4, 0.5)
+	cfg := features.DefaultConfig()
+	twinSets := make([]*features.BinarySet, len(d.ServerTwins))
+	for i, tw := range d.ServerTwins {
+		twinSets[i] = features.ExtractORB(tw.Render(), cfg)
+		tw.Free()
+	}
+	p := New(DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		srv := server.NewDefault()
+		for j, set := range twinSets {
+			srv.SeedIndex(set, server.UploadMeta{GroupID: d.ServerTwins[j].GroupID})
+		}
+		dev := NewDevice(nil, netsim.NewLink(256000), energy.DefaultModel())
+		dev.Battery.SetEbat(0.7)
+		b.StartTimer()
+		p.ProcessBatch(dev, srv, d.Batch)
+	}
+}
+
+// BenchmarkExtractAll measures the host-parallel AFE stage alone.
+func BenchmarkExtractAll(b *testing.B) {
+	d := dataset.NewDisasterBatch(56, 16, 4, 0)
+	cfg := features.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExtractAll(d.Batch, 0.1, cfg)
+	}
+}

@@ -365,7 +365,7 @@ func TestBatchAccountingIsolatesBatches(t *testing.T) {
 func TestExtractAllMatchesSequential(t *testing.T) {
 	d := dataset.NewDisasterBatch(132, 12, 0, 0)
 	cfg := features.DefaultConfig()
-	parallel := extractAll(d.Batch, 0.1, cfg)
+	parallel := ExtractAll(d.Batch, 0.1, cfg)
 	for i, img := range d.Batch {
 		img.Free()
 		want := extractOne(img, 0.1, cfg)

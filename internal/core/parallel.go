@@ -8,14 +8,15 @@ import (
 	"bees/internal/dataset"
 	"bees/internal/features"
 	"bees/internal/imagelib"
+	"bees/internal/par"
 	"bees/internal/submod"
 )
 
-// extractAll extracts ORB features for a batch concurrently. Results are
+// ExtractAll extracts ORB features for a batch concurrently. Results are
 // deterministic (extraction is a pure per-image function; order is
 // preserved by index). Energy and delay accounting stay with the caller:
 // the phone's cost model is per-image regardless of host parallelism.
-func extractAll(batch []*dataset.Image, bitmapC float64, cfg features.Config) []*features.BinarySet {
+func ExtractAll(batch []*dataset.Image, bitmapC float64, cfg features.Config) []*features.BinarySet {
 	sets := make([]*features.BinarySet, len(batch))
 	ForEachIndex(len(batch), func(i int) {
 		sets[i] = extractOne(batch[i], bitmapC, cfg)
@@ -23,51 +24,23 @@ func extractAll(batch []*dataset.Image, bitmapC float64, cfg features.Config) []
 	return sets
 }
 
-// ForEachIndex runs fn(0..n-1) across all host cores. fn must be safe to
-// run concurrently for distinct indices; results are deterministic as
-// long as fn(i) writes only its own slot. Schemes use it to parallelize
-// pure per-image compute (extraction, compression probing) — the phone's
-// energy model is unaffected by host parallelism.
-func ForEachIndex(n int, fn func(i int)) {
-	if n <= 0 {
-		return
-	}
-	workers := runtime.NumCPU()
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-}
+// ForEachIndex runs fn(0..n-1) across all host cores (see par.Do). fn
+// must be safe to run concurrently for distinct indices; results are
+// deterministic as long as fn(i) writes only its own slot. Schemes use
+// it to parallelize pure per-image compute (extraction, compression
+// probing) — the phone's energy model is unaffected by host parallelism.
+func ForEachIndex(n int, fn func(i int)) { par.Do(n, fn) }
 
 func extractOne(img *dataset.Image, bitmapC float64, cfg features.Config) *features.BinarySet {
 	bitmap := imagelib.CompressBitmap(img.Render(), bitmapC)
 	return features.ExtractORB(bitmap, cfg)
 }
 
-// buildBatchGraph computes the pairwise similarity graph over the
-// survivors' capped descriptor sets, parallelized by row.
-func buildBatchGraph(sets []*features.BinarySet, survivors []int, cap, hammingMax int) *submod.Graph {
+// BuildBatchGraph computes the pairwise similarity graph over the
+// survivors' capped descriptor sets, parallelized by row. The public
+// album summarizer (bees.SummarizeBatch) builds on it too, so IBRD and
+// the standalone summarizer stay consistent as knobs change.
+func BuildBatchGraph(sets []*features.BinarySet, survivors []int, cap, hammingMax int) *submod.Graph {
 	g := submod.NewGraph(len(survivors))
 	capped := make([]*features.BinarySet, len(survivors))
 	for i, si := range survivors {

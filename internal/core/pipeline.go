@@ -33,6 +33,12 @@ type Config struct {
 	DisableInBatch bool
 	// QueryResponseBytes models the per-image CBRD answer payload.
 	QueryResponseBytes int
+	// UploadWindow is AIU's in-flight upload window: images are
+	// compressed (host-parallel) and uploaded in chunks of this many, and
+	// chunk k+1's compression overlaps chunk k's transmission. Affects
+	// wall-clock throughput only — accounting, report contents and upload
+	// order are identical for every window size. Default 16.
+	UploadWindow int
 	// Telemetry, when set, receives per-stage spans, counters and the
 	// EAAS knob gauges for every processed batch (see DESIGN.md,
 	// "Observability"). Nil disables instrumentation at zero cost.
@@ -49,6 +55,7 @@ func DefaultConfig() Config {
 		SSMM:               submod.DefaultOptions(),
 		QualityProportion:  QualityProportion,
 		QueryResponseBytes: 16,
+		UploadWindow:       16,
 	}
 }
 
@@ -72,6 +79,9 @@ func New(cfg Config) *Pipeline {
 	}
 	if cfg.Extraction.MaxFeatures <= 0 {
 		cfg.Extraction = features.DefaultConfig()
+	}
+	if cfg.UploadWindow <= 0 {
+		cfg.UploadWindow = 16
 	}
 	return &Pipeline{cfg: cfg}
 }
@@ -108,7 +118,7 @@ func (p *Pipeline) ProcessBatch(dev *Device, srv ServerAPI, batch []*dataset.Ima
 	bitmapC := EAC(ebat)
 	tel.Gauge("eaas.eac").Set(bitmapC)
 	span := tel.StartSpan("afe.extract")
-	sets := extractAll(batch, bitmapC, p.cfg.Extraction)
+	sets := ExtractAll(batch, bitmapC, p.cfg.Extraction)
 	span.End()
 	for range batch {
 		dev.Compute(dev.Model.ExtractEnergy(features.AlgORB, bitmapC), energy.CatExtract)
@@ -125,12 +135,15 @@ func (p *Pipeline) ProcessBatch(dev *Device, srv ServerAPI, batch []*dataset.Ima
 	tel.Counter("pipeline.bytes.features").Add(int64(report.FeatureBytes))
 
 	// --- ARD part 1: CBRD with the EDR threshold. ----------------------
+	// One batched query answers every image: a single wire round trip
+	// instead of len(batch) on a network transport.
 	threshold := EDR(ebat)
 	tel.Gauge("eaas.edr").Set(threshold)
 	span = tel.StartSpan("ard.cbrd")
+	sims := srv.QueryMaxBatch(sets)
 	survivors := make([]int, 0, len(batch))
 	for i := range batch {
-		if srv.QueryMax(sets[i]) > threshold {
+		if sims[i] > threshold {
 			report.CrossEliminated++
 			continue
 		}
@@ -147,7 +160,7 @@ func (p *Pipeline) ProcessBatch(dev *Device, srv ServerAPI, batch []*dataset.Ima
 	selected := survivors
 	if !p.cfg.DisableInBatch && len(survivors) > 1 {
 		span = tel.StartSpan("ard.ibrd")
-		g := buildBatchGraph(sets, survivors, p.cfg.GraphDescriptors, p.cfg.HammingMax)
+		g := BuildBatchGraph(sets, survivors, p.cfg.GraphDescriptors, p.cfg.HammingMax)
 		res := submod.Summarize(g, SSMMThreshold(ebat), p.cfg.SSMM)
 		selected = make([]int, 0, len(res.Selected))
 		for _, li := range res.Selected {
@@ -159,27 +172,57 @@ func (p *Pipeline) ProcessBatch(dev *Device, srv ServerAPI, batch []*dataset.Ima
 	tel.Counter("pipeline.eliminated.inbatch").Add(int64(report.InBatchEliminated))
 
 	// --- AIU: quality + EAU resolution compression, then upload. -------
+	// The selected images go out through an in-flight window: each chunk
+	// is compressed host-parallel, then handed to a background goroutine
+	// for the (possibly remote) UploadBatch call while the next chunk
+	// compresses. Uploads still issue strictly in order — chunk k+1 is
+	// not sent until chunk k's round trip finished — and all accounting
+	// stays on this goroutine in image order, so reports are
+	// byte-identical to a fully serial upload loop.
 	resC := EAU(ebat)
 	tel.Gauge("eaas.eau").Set(resC)
 	span = tel.StartSpan("aiu.upload")
 	uploadHist := tel.Histogram("pipeline.upload.bytes", telemetry.SizeBuckets())
-	for _, i := range selected {
-		img := batch[i]
-		raster := img.Render()
-		compressed := imagelib.CompressBitmap(raster, resC)
-		bytes := img.SizeModel().Bytes(compressed, p.cfg.QualityProportion)
-		dev.Compute(dev.Model.CompressEnergy(imagelib.PixelsAt(resC)), energy.CatCompress)
-		dev.Transmit(bytes, energy.CatImageTx)
-		srv.Upload(sets[i], server.UploadMeta{
-			GroupID: img.GroupID,
-			Lat:     img.Lat,
-			Lon:     img.Lon,
-			Bytes:   bytes,
+	var pending chan struct{}
+	for start := 0; start < len(selected); start += p.cfg.UploadWindow {
+		end := start + p.cfg.UploadWindow
+		if end > len(selected) {
+			end = len(selected)
+		}
+		chunk := selected[start:end]
+		items := make([]server.UploadItem, len(chunk))
+		sizes := make([]int, len(chunk))
+		ForEachIndex(len(chunk), func(k int) {
+			img := batch[chunk[k]]
+			compressed := imagelib.CompressBitmap(img.Render(), resC)
+			sizes[k] = img.SizeModel().Bytes(compressed, p.cfg.QualityProportion)
+			items[k] = server.UploadItem{Set: sets[chunk[k]], Meta: server.UploadMeta{
+				GroupID: img.GroupID,
+				Lat:     img.Lat,
+				Lon:     img.Lon,
+				Bytes:   sizes[k],
+			}}
 		})
-		report.ImageBytes += bytes
-		report.Uploaded++
-		uploadHist.Observe(int64(bytes))
-		img.Free()
+		if pending != nil {
+			<-pending
+		}
+		for k := range chunk {
+			dev.Compute(dev.Model.CompressEnergy(imagelib.PixelsAt(resC)), energy.CatCompress)
+			dev.Transmit(sizes[k], energy.CatImageTx)
+			report.ImageBytes += sizes[k]
+			report.Uploaded++
+			uploadHist.Observe(int64(sizes[k]))
+			batch[chunk[k]].Free()
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			srv.UploadBatch(items)
+		}()
+		pending = done
+	}
+	if pending != nil {
+		<-pending
 	}
 	span.End()
 	for _, img := range batch {

@@ -10,16 +10,67 @@ import (
 	"bees/internal/server"
 )
 
-// ServerAPI is the cloud-server surface a scheme needs: the CBRD
-// similarity query and the upload call. *server.Server implements it
+// ServerAPI is the cloud-server surface a scheme needs, batch-first: one
+// call answers the CBRD similarity query for a whole batch and one call
+// uploads a whole window of images, so over a network transport a batch
+// costs O(1) round trips instead of O(N). *server.Server implements it
 // in-process; client.RemoteServer implements it over TCP, so the same
 // pipeline drives both the simulations and the network prototype.
 type ServerAPI interface {
+	// QueryMaxBatch returns the maximum stored similarity for each set,
+	// in order. Implementations that can degrade instead of failing
+	// report 0 (image treated as unique) for sets they could not answer.
+	QueryMaxBatch(sets []*features.BinarySet) []float64
+	// UploadBatch stores a batch of images. The error reports transport
+	// failure; schemes account bytes/energy for the attempt either way
+	// (the phone spent them), and degradation is surfaced through
+	// DegradationCounter.
+	UploadBatch(items []server.UploadItem) error
+}
+
+var _ ServerAPI = (*server.Server)(nil)
+
+// PerImageAPI is the legacy one-call-per-image server surface kept for
+// comparison and migration: the batched ServerAPI supersedes it on the
+// hot path.
+type PerImageAPI interface {
 	QueryMax(set *features.BinarySet) float64
 	Upload(set *features.BinarySet, meta server.UploadMeta) index.ImageID
 }
 
-var _ ServerAPI = (*server.Server)(nil)
+// PerImage adapts a PerImageAPI to the batch ServerAPI by looping — one
+// call (and over a transport, one round trip) per image. It exists for
+// the batched-vs-legacy equivalence tests and as a migration shim for
+// external per-image server implementations.
+type PerImage struct{ API PerImageAPI }
+
+var _ ServerAPI = PerImage{}
+
+// QueryMaxBatch implements ServerAPI with one QueryMax per set.
+func (p PerImage) QueryMaxBatch(sets []*features.BinarySet) []float64 {
+	sims := make([]float64, len(sets))
+	for i, s := range sets {
+		sims[i] = p.API.QueryMax(s)
+	}
+	return sims
+}
+
+// UploadBatch implements ServerAPI with one Upload per item.
+func (p PerImage) UploadBatch(items []server.UploadItem) error {
+	for _, it := range items {
+		p.API.Upload(it.Set, it.Meta)
+	}
+	return nil
+}
+
+// TakeDegraded passes the wrapped API's degradation count through, so
+// accounting matches the batched path when wrapping client.RemoteServer.
+func (p PerImage) TakeDegraded() int {
+	if dc, ok := p.API.(DegradationCounter); ok {
+		return dc.TakeDegraded()
+	}
+	return 0
+}
 
 // BatchReport is what every scheme returns for one processed batch: the
 // elimination counts, the bytes that crossed the network, the energy

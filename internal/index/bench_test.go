@@ -1,6 +1,11 @@
 package index
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+
+	"bees/internal/features"
+)
 
 func BenchmarkQueryMaxLSH(b *testing.B) {
 	c := newCorpus(b, 60, 900)
@@ -31,5 +36,54 @@ func BenchmarkAdd(b *testing.B) {
 		for j, s := range c.sets {
 			idx.Add(&Entry{ID: ImageID(j), Set: s})
 		}
+	}
+}
+
+// benchShardedIndex builds an index with the given stripe count holding
+// 64 entries (the corpus sets reused under distinct IDs, as shard load).
+func benchShardedIndex(c *testCorpus, shards int) *Index {
+	cfg := DefaultConfig()
+	cfg.Shards = shards
+	idx := New(cfg)
+	for i := 0; i < 64; i++ {
+		idx.Add(&Entry{ID: ImageID(i), Set: c.sets[i%len(c.sets)], GroupID: int64(i)})
+	}
+	return idx
+}
+
+// BenchmarkQueryMaxSharded compares the per-query cost of the shard
+// fan-out against a single stripe; results are identical by construction
+// (TestShardedMatchesSingleShard), only the locking granularity differs.
+func BenchmarkQueryMaxSharded(b *testing.B) {
+	c := newCorpus(b, 8, 903)
+	queries := make([]*features.BinarySet, len(c.sets))
+	for i := range queries {
+		queries[i] = c.variantSet(i)
+	}
+	for _, shards := range []int{1, DefaultShards} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			idx := benchShardedIndex(c, shards)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx.QueryMax(queries[i%len(queries)])
+			}
+		})
+	}
+}
+
+// BenchmarkQueryMaxBatch measures the batched CBRD query: 16 sets per
+// operation, fanned across host cores and index shards.
+func BenchmarkQueryMaxBatch(b *testing.B) {
+	c := newCorpus(b, 8, 904)
+	batch := make([]*features.BinarySet, 16)
+	for i := range batch {
+		batch[i] = c.variantSet(i % len(c.sets))
+	}
+	idx := benchShardedIndex(c, DefaultShards)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.QueryMaxBatch(batch)
 	}
 }

@@ -2,6 +2,13 @@
 // for cross-batch redundancy detection (CBRD): a multi-table bit-sampling
 // LSH over 256-bit ORB descriptors generates candidates, which are then
 // re-ranked with the exact Jaccard similarity of Equation 2.
+//
+// The index is lock-striped: entries and their hash buckets are spread
+// over Config.Shards independent shards, each behind its own RWMutex, so
+// a write (Add) locks 1/S of the index instead of all of it and queries
+// fan out over the shards concurrently. Results are byte-identical to a
+// single-shard index: an image lives in exactly one shard, so per-shard
+// LSH votes merge losslessly before the global candidate ranking.
 package index
 
 import (
@@ -11,6 +18,7 @@ import (
 	"sync"
 
 	"bees/internal/features"
+	"bees/internal/par"
 )
 
 // ImageID identifies an image stored in the index.
@@ -45,7 +53,16 @@ type Config struct {
 	CandidateLimit int
 	// Seed drives the bit sampling.
 	Seed int64
+	// Shards is the number of lock stripes the index is split into.
+	// Zero or negative selects DefaultShards. Shard assignment is a pure
+	// function of the image ID, so results do not depend on the count.
+	Shards int
 }
+
+// DefaultShards is the lock-stripe count used when Config.Shards is not
+// set: enough stripes that concurrent uploads rarely contend, few enough
+// that per-query fan-out stays cheap.
+const DefaultShards = 8
 
 // DefaultConfig returns LSH parameters tuned for 256-bit descriptors with
 // a match radius around DefaultHammingMax: similar descriptors collide in
@@ -57,16 +74,23 @@ func DefaultConfig() Config {
 		HammingMax:     features.DefaultHammingMax,
 		CandidateLimit: 24,
 		Seed:           0x1d5,
+		Shards:         DefaultShards,
 	}
+}
+
+// shard is one lock stripe: a slice of the entry map plus the matching
+// slice of every hash table.
+type shard struct {
+	mu      sync.RWMutex
+	entries map[ImageID]*Entry
+	tables  []map[uint32][]ImageID
 }
 
 // Index is a thread-safe similarity index over descriptor sets.
 type Index struct {
-	mu      sync.RWMutex
-	cfg     Config
-	entries map[ImageID]*Entry
-	tables  []map[uint32][]ImageID
-	bitSel  [][]int
+	cfg    Config
+	shards []*shard
+	bitSel [][]int // read-only after New
 }
 
 // New creates an empty index with the given configuration.
@@ -80,15 +104,26 @@ func New(cfg Config) *Index {
 	if cfg.HammingMax <= 0 {
 		cfg.HammingMax = features.DefaultHammingMax
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
 	idx := &Index{
-		cfg:     cfg,
-		entries: make(map[ImageID]*Entry),
-		tables:  make([]map[uint32][]ImageID, cfg.Tables),
-		bitSel:  make([][]int, cfg.Tables),
+		cfg:    cfg,
+		shards: make([]*shard, cfg.Shards),
+		bitSel: make([][]int, cfg.Tables),
+	}
+	for s := range idx.shards {
+		sh := &shard{
+			entries: make(map[ImageID]*Entry),
+			tables:  make([]map[uint32][]ImageID, cfg.Tables),
+		}
+		for t := range sh.tables {
+			sh.tables[t] = make(map[uint32][]ImageID)
+		}
+		idx.shards[s] = sh
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	for t := 0; t < cfg.Tables; t++ {
-		idx.tables[t] = make(map[uint32][]ImageID)
 		sel := rng.Perm(256)[:cfg.BitsPerKey]
 		sort.Ints(sel)
 		idx.bitSel[t] = sel
@@ -96,25 +131,37 @@ func New(cfg Config) *Index {
 	return idx
 }
 
-// Len returns the number of indexed images.
-func (x *Index) Len() int {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
-	return len(x.entries)
+// shardFor maps an image ID to its owning stripe.
+func (x *Index) shardFor(id ImageID) *shard {
+	n := uint64(len(x.shards))
+	return x.shards[uint64(id)%n]
 }
 
-// Add inserts an image. Re-adding an existing ID replaces its metadata
-// but keeps old hash buckets pointing at it, so callers should use fresh
-// IDs (the server layer guarantees this).
+// Len returns the number of indexed images.
+func (x *Index) Len() int {
+	n := 0
+	for _, sh := range x.shards {
+		sh.mu.RLock()
+		n += len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Add inserts an image, locking only the entry's own shard — concurrent
+// uploads to different shards do not serialize. Re-adding an existing ID
+// replaces its metadata but keeps old hash buckets pointing at it, so
+// callers should use fresh IDs (the server layer guarantees this).
 func (x *Index) Add(e *Entry) {
 	if e == nil || e.Set == nil {
 		return
 	}
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	x.entries[e.ID] = e
-	for t := range x.tables {
-		table := x.tables[t]
+	sh := x.shardFor(e.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.entries[e.ID] = e
+	for t := range sh.tables {
+		table := sh.tables[t]
 		sel := x.bitSel[t]
 		for _, d := range e.Set.Descriptors {
 			key := hashKey(d, sel)
@@ -131,9 +178,10 @@ func (x *Index) Add(e *Entry) {
 
 // Get returns the entry for id, or nil.
 func (x *Index) Get(id ImageID) *Entry {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
-	return x.entries[id]
+	sh := x.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.entries[id]
 }
 
 // QueryMax returns the indexed image with the highest Equation-2
@@ -144,27 +192,48 @@ func (x *Index) QueryMax(set *features.BinarySet) (*Entry, float64) {
 	if len(res) == 0 {
 		return nil, 0
 	}
-	x.mu.RLock()
-	defer x.mu.RUnlock()
-	return x.entries[res[0].ID], res[0].Similarity
+	return x.Get(res[0].ID), res[0].Similarity
+}
+
+// votes collects this shard's LSH bucket hits for the query set. Holding
+// only the shard's read lock, it is safe to run one goroutine per shard.
+func (sh *shard) votes(set *features.BinarySet, bitSel [][]int) map[ImageID]int {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	v := make(map[ImageID]int)
+	for t := range sh.tables {
+		table := sh.tables[t]
+		sel := bitSel[t]
+		for _, d := range set.Descriptors {
+			for _, id := range table[hashKey(d, sel)] {
+				v[id]++
+			}
+		}
+	}
+	return v
 }
 
 // QueryTopK returns the k most similar indexed images, ranked by exact
-// Jaccard similarity over the LSH candidate set.
+// Jaccard similarity over the LSH candidate set. Candidate generation
+// fans out over the shards concurrently; because each image lives in
+// exactly one shard, merging the per-shard votes reproduces the global
+// vote counts, so the ranking is identical to a single-shard index.
 func (x *Index) QueryTopK(set *features.BinarySet, k int) []Result {
 	if set.Len() == 0 || k <= 0 {
 		return nil
 	}
-	x.mu.RLock()
-	defer x.mu.RUnlock()
-	votes := make(map[ImageID]int)
-	for t := range x.tables {
-		table := x.tables[t]
-		sel := x.bitSel[t]
-		for _, d := range set.Descriptors {
-			for _, id := range table[hashKey(d, sel)] {
-				votes[id]++
-			}
+	perShard := make([]map[ImageID]int, len(x.shards))
+	if len(x.shards) == 1 {
+		perShard[0] = x.shards[0].votes(set, x.bitSel)
+	} else {
+		par.Do(len(x.shards), func(s int) {
+			perShard[s] = x.shards[s].votes(set, x.bitSel)
+		})
+	}
+	votes := perShard[0]
+	for _, v := range perShard[1:] {
+		for id, n := range v {
+			votes[id] += n
 		}
 	}
 	if len(votes) == 0 {
@@ -193,7 +262,7 @@ func (x *Index) QueryTopK(set *features.BinarySet, k int) []Result {
 	}
 	results := make([]Result, 0, len(cands))
 	for _, c := range cands {
-		e := x.entries[c.id]
+		e := x.Get(c.id)
 		if e == nil {
 			continue
 		}
@@ -217,21 +286,45 @@ func (x *Index) QueryTopK(set *features.BinarySet, k int) []Result {
 	return results
 }
 
+// QueryMaxBatch answers the CBRD similarity query for a whole batch of
+// sets at once, running the per-set queries across all host cores. The
+// result is one maximum similarity per set, in order.
+func (x *Index) QueryMaxBatch(sets []*features.BinarySet) []float64 {
+	sims := make([]float64, len(sets))
+	par.Do(len(sets), func(i int) {
+		if sets[i] == nil {
+			return
+		}
+		_, sims[i] = x.QueryMax(sets[i])
+	})
+	return sims
+}
+
+// sortedIDs returns every indexed ID in ascending order.
+func (x *Index) sortedIDs() []ImageID {
+	ids := make([]ImageID, 0, x.Len())
+	for _, sh := range x.shards {
+		sh.mu.RLock()
+		for id := range sh.entries {
+			ids = append(ids, id)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
 // ExhaustiveMax scans every indexed image with the exact similarity and
 // returns the best match. It is the brute-force baseline the ablation
 // bench compares the LSH path against.
 func (x *Index) ExhaustiveMax(set *features.BinarySet) (*Entry, float64) {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
 	var best *Entry
 	bestSim := 0.0
-	ids := make([]ImageID, 0, len(x.entries))
-	for id := range x.entries {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		e := x.entries[id]
+	for _, id := range x.sortedIDs() {
+		e := x.Get(id)
+		if e == nil {
+			continue
+		}
 		if sim := features.JaccardBinary(set, e.Set, x.cfg.HammingMax); sim > bestSim {
 			bestSim, best = sim, e
 		}
@@ -251,18 +344,8 @@ func hashKey(d features.Descriptor, sel []int) uint32 {
 // ForEach calls fn for every entry in ascending ID order. The entries
 // are shared; callers must not mutate them.
 func (x *Index) ForEach(fn func(*Entry)) {
-	x.mu.RLock()
-	ids := make([]ImageID, 0, len(x.entries))
-	for id := range x.entries {
-		ids = append(ids, id)
-	}
-	x.mu.RUnlock()
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		x.mu.RLock()
-		e := x.entries[id]
-		x.mu.RUnlock()
-		if e != nil {
+	for _, id := range x.sortedIDs() {
+		if e := x.Get(id); e != nil {
 			fn(e)
 		}
 	}

@@ -278,10 +278,12 @@ func TestBucketKeysBounded(t *testing.T) {
 		idx.Add(&Entry{ID: ImageID(i), Set: s})
 	}
 	limit := uint32(1) << uint(cfg.BitsPerKey)
-	for t2 := range idx.tables {
-		for key := range idx.tables[t2] {
-			if key >= limit {
-				t.Fatalf("bucket key %d exceeds %d bits", key, cfg.BitsPerKey)
+	for _, sh := range idx.shards {
+		for t2 := range sh.tables {
+			for key := range sh.tables[t2] {
+				if key >= limit {
+					t.Fatalf("bucket key %d exceeds %d bits", key, cfg.BitsPerKey)
+				}
 			}
 		}
 	}

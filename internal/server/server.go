@@ -9,6 +9,8 @@ import (
 
 	"bees/internal/features"
 	"bees/internal/index"
+	"bees/internal/par"
+	"bees/internal/telemetry"
 )
 
 // UploadMeta carries the image metadata the evaluation needs.
@@ -29,10 +31,28 @@ type Stats struct {
 	BytesReceived int64
 }
 
+// UploadItem is one image in a batched upload: its (possibly nil)
+// feature set plus the evaluation metadata.
+type UploadItem struct {
+	Set  *features.BinarySet
+	Meta UploadMeta
+}
+
+// Config configures a Server beyond the index parameters.
+type Config struct {
+	// Index is the similarity-index configuration (including Shards).
+	// The zero value selects index.DefaultConfig().
+	Index index.Config
+	// Telemetry receives the server's index counters (queries, uploads).
+	// Nil disables instrumentation.
+	Telemetry *telemetry.Registry
+}
+
 // Server is a thread-safe cloud server.
 type Server struct {
 	mu       sync.Mutex
 	idx      *index.Index
+	tel      *telemetry.Registry
 	nextID   index.ImageID
 	received int64
 	uploads  []index.ImageID
@@ -45,7 +65,15 @@ type Server struct {
 
 // New creates a server with the given index configuration.
 func New(cfg index.Config) *Server {
-	return &Server{idx: index.New(cfg)}
+	return NewWithConfig(Config{Index: cfg})
+}
+
+// NewWithConfig creates a server with full configuration.
+func NewWithConfig(cfg Config) *Server {
+	if cfg.Index == (index.Config{}) {
+		cfg.Index = index.DefaultConfig()
+	}
+	return &Server{idx: index.New(cfg.Index), tel: cfg.Telemetry}
 }
 
 // NewDefault creates a server with the default index configuration.
@@ -64,29 +92,65 @@ func (s *Server) QueryTopK(set *features.BinarySet, k int) []index.Result {
 	return s.idx.QueryTopK(set, k)
 }
 
+// QueryMaxBatch answers the CBRD query for a whole batch at once: one
+// maximum similarity per set, in order. The per-set queries run across
+// all host cores, each fanning out over the index shards.
+func (s *Server) QueryMaxBatch(sets []*features.BinarySet) []float64 {
+	s.tel.Counter("server.index.queries").Add(int64(len(sets)))
+	return s.idx.QueryMaxBatch(sets)
+}
+
+// UploadBatchIDs stores a batch of images, returning the assigned IDs in
+// item order. IDs are assigned sequentially under the server lock (so
+// arrival order and accounting stay deterministic), then the feature sets
+// are indexed concurrently — with a sharded index the inserts mostly land
+// on distinct stripes and proceed in parallel.
+func (s *Server) UploadBatchIDs(items []UploadItem) []index.ImageID {
+	if len(items) == 0 {
+		return nil
+	}
+	ids := make([]index.ImageID, len(items))
+	s.mu.Lock()
+	for i := range items {
+		ids[i] = s.nextID
+		s.nextID++
+		s.received += int64(items[i].Meta.Bytes)
+		s.uploads = append(s.uploads, ids[i])
+		s.metas = append(s.metas, items[i].Meta)
+	}
+	s.mu.Unlock()
+	s.tel.Counter("server.index.uploads").Add(int64(len(items)))
+	par.Do(len(items), func(i int) {
+		it := items[i]
+		if it.Set == nil {
+			return
+		}
+		s.idx.Add(&index.Entry{
+			ID:      ids[i],
+			Set:     it.Set,
+			GroupID: it.Meta.GroupID,
+			Lat:     it.Meta.Lat,
+			Lon:     it.Meta.Lon,
+		})
+	})
+	return ids
+}
+
+// UploadBatch stores a batch of images. The in-process server cannot
+// fail; the error return exists so remote implementations of the same
+// batch API can surface link failures.
+func (s *Server) UploadBatch(items []UploadItem) error {
+	s.UploadBatchIDs(items)
+	return nil
+}
+
 // Upload stores an image's features and accounts its bytes, returning the
 // assigned ID. The features become immediately queryable, which is what
 // makes previously-uploaded batches detectable as cross-batch redundancy.
 // A nil feature set (Direct Upload sends no features) stores the image
 // without indexing it.
 func (s *Server) Upload(set *features.BinarySet, meta UploadMeta) index.ImageID {
-	s.mu.Lock()
-	id := s.nextID
-	s.nextID++
-	s.received += int64(meta.Bytes)
-	s.uploads = append(s.uploads, id)
-	s.metas = append(s.metas, meta)
-	s.mu.Unlock()
-	if set != nil {
-		s.idx.Add(&index.Entry{
-			ID:      id,
-			Set:     set,
-			GroupID: meta.GroupID,
-			Lat:     meta.Lat,
-			Lon:     meta.Lon,
-		})
-	}
-	return id
+	return s.UploadBatchIDs([]UploadItem{{Set: set, Meta: meta}})[0]
 }
 
 // SeedIndex inserts features without counting upload bytes — used by

@@ -166,10 +166,7 @@ func (t *TCPServer) handle(conn net.Conn, msg any) error {
 	switch m := msg.(type) {
 	case *wire.QueryRequest:
 		span := t.tel.StartSpan("server.query")
-		resp := &wire.QueryResponse{MaxSims: make([]float64, len(m.Sets))}
-		for i, set := range m.Sets {
-			resp.MaxSims[i] = t.srv.QueryMax(set)
-		}
+		resp := &wire.QueryResponse{MaxSims: t.srv.QueryMaxBatch(m.Sets)}
 		span.End()
 		t.tel.Counter("server.frames.query").Inc()
 		t.tel.Counter("server.query.sets").Add(int64(len(m.Sets)))
@@ -180,6 +177,12 @@ func (t *TCPServer) handle(conn net.Conn, msg any) error {
 		span.End()
 		t.tel.Counter("server.frames.upload").Inc()
 		return wire.WriteFrame(conn, &wire.UploadResponse{ID: id})
+	case *wire.UploadBatchRequest:
+		span := t.tel.StartSpan("server.upload_batch")
+		ids := t.uploadBatch(m)
+		span.End()
+		t.tel.Counter("server.frames.upload_batch").Inc()
+		return wire.WriteFrame(conn, &wire.UploadBatchResponse{IDs: ids})
 	case *wire.StatsRequest:
 		t.tel.Counter("server.frames.stats").Inc()
 		st := t.srv.Stats()
@@ -229,9 +232,9 @@ func (t *TCPServer) DebugSnapshot() telemetry.Snapshot {
 // instead of storing (and counting) the image twice.
 func (t *TCPServer) upload(m *wire.UploadRequest) int64 {
 	if m.Nonce != 0 {
-		if id, ok := t.dedup.lookup(m.Nonce); ok {
+		if ids, ok := t.dedup.lookup(m.Nonce); ok {
 			t.tel.Counter("server.upload.dedup_hits").Inc()
-			return id
+			return ids[0]
 		}
 	}
 	t.tel.Counter("server.upload.bytes").Add(int64(len(m.Blob)))
@@ -247,9 +250,49 @@ func (t *TCPServer) upload(m *wire.UploadRequest) int64 {
 		Bytes:   len(m.Blob),
 	}))
 	if m.Nonce != 0 {
-		t.dedup.record(m.Nonce, id)
+		t.dedup.record(m.Nonce, []int64{id})
 	}
 	return id
+}
+
+// uploadBatch applies a batched upload exactly once per nonce. The frame
+// is atomic on the wire (framing rejects truncated payloads), so one
+// nonce covers the whole batch and a retry replays the full ID slice.
+func (t *TCPServer) uploadBatch(m *wire.UploadBatchRequest) []int64 {
+	if m.Nonce != 0 {
+		if ids, ok := t.dedup.lookup(m.Nonce); ok {
+			t.tel.Counter("server.upload.dedup_hits").Inc()
+			return ids
+		}
+	}
+	items := make([]UploadItem, len(m.Items))
+	var bytes int64
+	for i := range m.Items {
+		it := &m.Items[i]
+		set := it.Set
+		if set.Len() == 0 {
+			set = nil
+		}
+		items[i] = UploadItem{Set: set, Meta: UploadMeta{
+			GroupID: it.GroupID,
+			Lat:     it.Lat,
+			Lon:     it.Lon,
+			Bytes:   len(it.Blob),
+		}}
+		bytes += int64(len(it.Blob))
+		t.tel.Histogram("server.upload.blob_bytes", telemetry.SizeBuckets()).Observe(int64(len(it.Blob)))
+	}
+	t.tel.Counter("server.upload.bytes").Add(bytes)
+	t.tel.Counter("server.upload.batch_items").Add(int64(len(items)))
+	raw := t.srv.UploadBatchIDs(items)
+	ids := make([]int64, len(raw))
+	for i, id := range raw {
+		ids[i] = int64(id)
+	}
+	if m.Nonce != 0 {
+		t.dedup.record(m.Nonce, ids)
+	}
+	return ids
 }
 
 // Close stops accepting, closes active connections, and waits for the
@@ -273,28 +316,29 @@ func (t *TCPServer) Close() error {
 	return err
 }
 
-// uploadDedup remembers the IDs assigned to recent upload nonces. The
-// window is bounded FIFO: old nonces fall out once the client's retry
-// horizon has long passed.
+// uploadDedup remembers the IDs assigned to recent upload nonces — one
+// ID for a single upload, the full slice for a batch. The window is
+// bounded FIFO: old nonces fall out once the client's retry horizon has
+// long passed.
 type uploadDedup struct {
 	mu    sync.Mutex
-	ids   map[uint64]int64
+	ids   map[uint64][]int64
 	order []uint64
 	limit int
 }
 
 func newUploadDedup(limit int) *uploadDedup {
-	return &uploadDedup{ids: make(map[uint64]int64), limit: limit}
+	return &uploadDedup{ids: make(map[uint64][]int64), limit: limit}
 }
 
-func (d *uploadDedup) lookup(nonce uint64) (int64, bool) {
+func (d *uploadDedup) lookup(nonce uint64) ([]int64, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	id, ok := d.ids[nonce]
-	return id, ok
+	ids, ok := d.ids[nonce]
+	return ids, ok
 }
 
-func (d *uploadDedup) record(nonce uint64, id int64) {
+func (d *uploadDedup) record(nonce uint64, ids []int64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if _, ok := d.ids[nonce]; ok {
@@ -305,6 +349,6 @@ func (d *uploadDedup) record(nonce uint64, id int64) {
 		d.order = d.order[1:]
 		delete(d.ids, oldest)
 	}
-	d.ids[nonce] = id
+	d.ids[nonce] = ids
 	d.order = append(d.order, nonce)
 }

@@ -159,7 +159,7 @@ func TestUploadNoNonceNotDeduped(t *testing.T) {
 func TestDedupWindowBounded(t *testing.T) {
 	d := newUploadDedup(3)
 	for n := uint64(1); n <= 5; n++ {
-		d.record(n, int64(n))
+		d.record(n, []int64{int64(n)})
 	}
 	if _, ok := d.lookup(1); ok {
 		t.Fatal("oldest nonce not evicted")
@@ -168,7 +168,7 @@ func TestDedupWindowBounded(t *testing.T) {
 		t.Fatal("second-oldest nonce not evicted")
 	}
 	for n := uint64(3); n <= 5; n++ {
-		if id, ok := d.lookup(n); !ok || id != int64(n) {
+		if ids, ok := d.lookup(n); !ok || len(ids) != 1 || ids[0] != int64(n) {
 			t.Fatalf("nonce %d lost from the window", n)
 		}
 	}

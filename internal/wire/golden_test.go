@@ -51,6 +51,14 @@ func goldenFrames() []struct {
 		{"error_response", &ErrorResponse{Message: "boom"}},
 		{"telemetry_push", &TelemetryPush{Snapshot: []byte(`{"counters":{"pipeline.batches":1}}`)}},
 		{"telemetry_ack", &TelemetryAck{}},
+		{"upload_batch_request", &UploadBatchRequest{
+			Nonce: 0x0123456789abcdef,
+			Items: []UploadBatchItem{
+				{Set: set, GroupID: 3, Lat: -1.5, Lon: 2.25, Blob: []byte("first")},
+				{Set: &features.BinarySet{}, GroupID: -9, Blob: nil},
+			},
+		}},
+		{"upload_batch_response", &UploadBatchResponse{IDs: []int64{7, -1, 8}}},
 	}
 }
 

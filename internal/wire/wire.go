@@ -20,6 +20,13 @@
 // the server may or may not have applied it) can be deduplicated
 // server-side: the server replays the original UploadResponse instead of
 // storing the image twice. Nonce 0 means "no retry protection".
+//
+// Batch-first path: QueryRequest has always carried a whole batch of
+// feature sets (one CBRD round trip per batch); UploadBatchRequest is
+// the AIU counterpart, carrying a window of images under a single nonce
+// so the whole window is applied exactly once and a replay is answered
+// with the originally assigned IDs. The per-image UploadRequest remains
+// for legacy clients and single-image tools.
 package wire
 
 import (
@@ -46,6 +53,8 @@ const (
 	MsgError
 	MsgTelemetryPush
 	MsgTelemetryAck
+	MsgUploadBatchRequest
+	MsgUploadBatchResponse
 )
 
 // MaxFrameBytes bounds a frame to keep a malformed peer from forcing a
@@ -89,6 +98,35 @@ type UploadRequest struct {
 // UploadResponse acknowledges an upload with the assigned image ID.
 type UploadResponse struct {
 	ID int64
+}
+
+// UploadBatchItem is one image of an UploadBatchRequest.
+type UploadBatchItem struct {
+	Set     *features.BinarySet
+	GroupID int64
+	Lat     float64
+	Lon     float64
+	// Blob is the (compressed) image payload; only its length matters to
+	// the server's accounting.
+	Blob []byte
+}
+
+// UploadBatchRequest stores a whole window of images in one round trip —
+// the AIU side of the batch-first protocol. The frame is applied
+// atomically with respect to retries: the single Nonce covers every
+// item, so a replayed batch (response lost, client resent) is answered
+// with the originally assigned IDs instead of being stored twice.
+// Partial frames never reach the handler (the framing layer rejects
+// truncated payloads), so a batch is either fully applied or not at all.
+type UploadBatchRequest struct {
+	Nonce uint64
+	Items []UploadBatchItem
+}
+
+// UploadBatchResponse acknowledges an UploadBatchRequest with one
+// assigned image ID per item, in order.
+type UploadBatchResponse struct {
+	IDs []int64
 }
 
 // StatsRequest asks for server counters.
@@ -143,6 +181,10 @@ func WriteFrame(w io.Writer, msg any) error {
 		typ, payload = MsgTelemetryPush, m.Snapshot
 	case *TelemetryAck:
 		typ, payload = MsgTelemetryAck, nil
+	case *UploadBatchRequest:
+		typ, payload = MsgUploadBatchRequest, encodeUploadBatchRequest(m)
+	case *UploadBatchResponse:
+		typ, payload = MsgUploadBatchResponse, encodeUploadBatchResponse(m)
 	default:
 		return fmt.Errorf("%w: %T", ErrUnencodable, msg)
 	}
@@ -206,6 +248,10 @@ func ReadFrame(r io.Reader) (any, error) {
 			return nil, errors.New("wire: bad telemetry ack")
 		}
 		return &TelemetryAck{}, nil
+	case MsgUploadBatchRequest:
+		return decodeUploadBatchRequest(payload)
+	case MsgUploadBatchResponse:
+		return decodeUploadBatchResponse(payload)
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", typ)
 	}
@@ -314,6 +360,98 @@ func encodeUploadRequest(m *UploadRequest) []byte {
 	buf = encodeSet(buf, set)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Blob)))
 	return append(buf, m.Blob...)
+}
+
+func encodeUploadBatchRequest(m *UploadBatchRequest) []byte {
+	buf := encodeU64(m.Nonce)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Items)))
+	for i := range m.Items {
+		it := &m.Items[i]
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(it.GroupID))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(it.Lat))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(it.Lon))
+		set := it.Set
+		if set == nil {
+			set = &features.BinarySet{}
+		}
+		buf = encodeSet(buf, set)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(it.Blob)))
+		buf = append(buf, it.Blob...)
+	}
+	return buf
+}
+
+// minUploadBatchItemBytes is the smallest encodable item: three u64
+// fields, an empty descriptor set header, an empty blob header.
+const minUploadBatchItemBytes = 8 + 8 + 8 + 4 + 4
+
+func decodeUploadBatchRequest(payload []byte) (*UploadBatchRequest, error) {
+	if len(payload) < 12 {
+		return nil, errors.New("wire: truncated upload batch request")
+	}
+	req := &UploadBatchRequest{Nonce: binary.LittleEndian.Uint64(payload)}
+	n := int(binary.LittleEndian.Uint32(payload[8:]))
+	payload = payload[12:]
+	// The count is attacker-controlled; cap the preallocation by what the
+	// remaining payload could actually hold.
+	prealloc := n
+	if max := len(payload) / minUploadBatchItemBytes; prealloc > max {
+		prealloc = max
+	}
+	req.Items = make([]UploadBatchItem, 0, prealloc)
+	for i := 0; i < n; i++ {
+		if len(payload) < 24 {
+			return nil, errors.New("wire: truncated upload batch item")
+		}
+		it := UploadBatchItem{
+			GroupID: int64(binary.LittleEndian.Uint64(payload)),
+			Lat:     math.Float64frombits(binary.LittleEndian.Uint64(payload[8:])),
+			Lon:     math.Float64frombits(binary.LittleEndian.Uint64(payload[16:])),
+		}
+		set, rest, err := decodeSet(payload[24:])
+		if err != nil {
+			return nil, err
+		}
+		it.Set = set
+		if len(rest) < 4 {
+			return nil, errors.New("wire: truncated batch blob header")
+		}
+		blobLen := int(binary.LittleEndian.Uint32(rest))
+		rest = rest[4:]
+		if len(rest) < blobLen {
+			return nil, errors.New("wire: truncated batch blob")
+		}
+		it.Blob = rest[:blobLen:blobLen]
+		payload = rest[blobLen:]
+		req.Items = append(req.Items, it)
+	}
+	if len(payload) != 0 {
+		return nil, errors.New("wire: trailing bytes after upload batch")
+	}
+	return req, nil
+}
+
+func encodeUploadBatchResponse(m *UploadBatchResponse) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(m.IDs)))
+	for _, id := range m.IDs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(id))
+	}
+	return buf
+}
+
+func decodeUploadBatchResponse(payload []byte) (*UploadBatchResponse, error) {
+	if len(payload) < 4 {
+		return nil, errors.New("wire: truncated upload batch response")
+	}
+	n := int(binary.LittleEndian.Uint32(payload))
+	if len(payload) != 4+8*n {
+		return nil, errors.New("wire: bad upload batch response length")
+	}
+	resp := &UploadBatchResponse{IDs: make([]int64, n)}
+	for i := 0; i < n; i++ {
+		resp.IDs[i] = int64(binary.LittleEndian.Uint64(payload[4+8*i:]))
+	}
+	return resp, nil
 }
 
 func decodeUploadRequest(payload []byte) (*UploadRequest, error) {
