@@ -39,8 +39,12 @@ fuzz:
 #   jq -r .raw BENCH_pipeline.json > old.txt && benchstat old.txt new.txt
 # The pipeline benchmark runs whole 16-image batches, so it gets a fixed
 # small iteration count; the index benchmarks use the default 1s budget.
+# The bench runs land in a temp file first so a failing `go test -bench`
+# (compile error, panic) fails the target instead of silently piping a
+# partial stream into bench2json.
 bench:
-	@{ $(GO) test ./internal/index -run '^$$' -bench . -benchmem ; \
-	   $(GO) test ./internal/core -run '^$$' -bench . -benchmem -benchtime 3x ; } \
-	  | $(GO) run ./cmd/bench2json > BENCH_pipeline.json
+	@set -e; tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
+	  $(GO) test ./internal/index -run '^$$' -bench . -benchmem > "$$tmp"; \
+	  $(GO) test ./internal/core -run '^$$' -bench . -benchmem -benchtime 3x >> "$$tmp"; \
+	  $(GO) run ./cmd/bench2json < "$$tmp" > BENCH_pipeline.json
 	@echo "wrote BENCH_pipeline.json"

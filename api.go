@@ -257,6 +257,13 @@ func DefaultCoverageConfig(seed int64) CoverageConfig {
 // Tw(ebat), and returns the selected unique-image subset plus the
 // similarity clusters (index slices into batch). This is the in-batch
 // redundancy detector of the pipeline exposed as an album summarizer.
+//
+// Since the batch-first rework the graph is built exactly as the
+// in-pipeline IBRD stage builds it: pairwise similarity uses the
+// strongest core.DefaultConfig().GraphDescriptors descriptors per image
+// rather than the full extracted set, so clusters/selections can differ
+// from the earlier full-set Jaccard implementation (and will track the
+// pipeline if those knobs change).
 func SummarizeBatch(batch []*Image, ebat float64) (selected []*Image, clusters [][]int) {
 	// Built on the pipeline's own helpers (host-parallel extraction and
 	// graph construction with the IBRD knobs), so the standalone

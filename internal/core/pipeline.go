@@ -1,6 +1,8 @@
 package core
 
 import (
+	"log"
+
 	"bees/internal/dataset"
 	"bees/internal/energy"
 	"bees/internal/features"
@@ -184,6 +186,10 @@ func (p *Pipeline) ProcessBatch(dev *Device, srv ServerAPI, batch []*dataset.Ima
 	span = tel.StartSpan("aiu.upload")
 	uploadHist := tel.Histogram("pipeline.upload.bytes", telemetry.SizeBuckets())
 	var pending chan struct{}
+	// Upload goroutines run one at a time (chunk k is joined via pending
+	// before chunk k+1 starts), so plain writes to uploadErr are ordered
+	// by the channel close/receive pairs.
+	var uploadErr error
 	for start := 0; start < len(selected); start += p.cfg.UploadWindow {
 		end := start + p.cfg.UploadWindow
 		if end > len(selected) {
@@ -217,12 +223,21 @@ func (p *Pipeline) ProcessBatch(dev *Device, srv ServerAPI, batch []*dataset.Ima
 		done := make(chan struct{})
 		go func() {
 			defer close(done)
-			srv.UploadBatch(items)
+			if err := srv.UploadBatch(items); err != nil {
+				uploadErr = err
+			}
 		}()
 		pending = done
 	}
 	if pending != nil {
 		<-pending
+	}
+	if uploadErr != nil {
+		// RemoteServer self-accounts failures via DegradationCounter (and
+		// logs them itself); this covers ServerAPI implementations whose
+		// only failure signal is the returned error.
+		tel.Counter("pipeline.upload.errors").Inc()
+		log.Printf("bees: batch upload failed: %v", uploadErr)
 	}
 	span.End()
 	for _, img := range batch {

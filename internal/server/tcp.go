@@ -232,7 +232,9 @@ func (t *TCPServer) DebugSnapshot() telemetry.Snapshot {
 // instead of storing (and counting) the image twice.
 func (t *TCPServer) upload(m *wire.UploadRequest) int64 {
 	if m.Nonce != 0 {
-		if ids, ok := t.dedup.lookup(m.Nonce); ok {
+		// A nonce recorded by an empty batch maps to zero IDs; fall through
+		// to a fresh store rather than indexing into the empty slice.
+		if ids, ok := t.dedup.lookup(m.Nonce); ok && len(ids) > 0 {
 			t.tel.Counter("server.upload.dedup_hits").Inc()
 			return ids[0]
 		}
@@ -289,7 +291,10 @@ func (t *TCPServer) uploadBatch(m *wire.UploadBatchRequest) []int64 {
 	for i, id := range raw {
 		ids[i] = int64(id)
 	}
-	if m.Nonce != 0 {
+	// Zero-item batches are not worth a dedup slot: replaying one is a
+	// no-op, and recording an empty ID slice would poison the nonce for a
+	// single-upload retry that expects at least one ID.
+	if m.Nonce != 0 && len(ids) > 0 {
 		t.dedup.record(m.Nonce, ids)
 	}
 	return ids

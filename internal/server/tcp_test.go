@@ -154,6 +154,40 @@ func TestUploadNoNonceNotDeduped(t *testing.T) {
 	}
 }
 
+// TestEmptyBatchNonceDoesNotPoisonUpload is a regression test for a
+// remote crash: an empty UploadBatchRequest used to record a zero-ID
+// slice under its nonce, and a later single UploadRequest reusing that
+// nonce indexed ids[0] and panicked the whole server. The empty batch
+// must not claim the nonce, and the follow-up upload must store fresh.
+func TestEmptyBatchNonceDoesNotPoisonUpload(t *testing.T) {
+	srv, _, addr := listenTCP(t, TCPConfig{})
+	conn := dialRaw(t, addr)
+
+	batch, ok := request(t, conn, &wire.UploadBatchRequest{Nonce: 99}).(*wire.UploadBatchResponse)
+	if !ok {
+		t.Fatal("no response to empty batch")
+	}
+	if len(batch.IDs) != 0 {
+		t.Fatalf("empty batch assigned IDs: %v", batch.IDs)
+	}
+
+	up, ok := request(t, conn, &wire.UploadRequest{Nonce: 99, Blob: make([]byte, 10)}).(*wire.UploadResponse)
+	if !ok {
+		t.Fatal("upload reusing the batch nonce got no response (server likely panicked)")
+	}
+	if st := srv.Stats(); st.Images != 1 || st.BytesReceived != 10 {
+		t.Fatalf("upload after empty batch not applied: %+v", st)
+	}
+	// The upload's own retry semantics must still work on that nonce.
+	retry := request(t, conn, &wire.UploadRequest{Nonce: 99, Blob: make([]byte, 10)}).(*wire.UploadResponse)
+	if retry.ID != up.ID {
+		t.Fatalf("retry got ID %d, original got %d", retry.ID, up.ID)
+	}
+	if st := srv.Stats(); st.Images != 1 {
+		t.Fatalf("retry double-counted: %+v", st)
+	}
+}
+
 // TestDedupWindowBounded checks the nonce memory is FIFO-bounded so a
 // hostile client cannot grow it without limit.
 func TestDedupWindowBounded(t *testing.T) {
