@@ -18,20 +18,27 @@ tier1: build
 	$(GO) test ./...
 
 # tier2's race run covers the telemetry registry's concurrency tests
-# (internal/telemetry: parallel writers + snapshot readers) — the race
-# detector is what makes them a proof rather than a smoke test. The
-# explicit -timeout generously covers the sim/harness packages, whose
-# CPU-bound lifetime simulations can exceed go test's default 10m
-# per-package budget under the race detector's slowdown on small
-# (single-core CI) machines; a genuine deadlock still fails, just later.
-tier2:
+# (internal/telemetry: parallel writers + snapshot readers) and the
+# chaos tests — the partition test (client/partition_chaos_test.go)
+# drives the full pipeline through a severed link plus a beesd restart,
+# and the race detector is what makes them a proof rather than a smoke
+# test. The explicit -timeout generously covers the sim/harness
+# packages, whose CPU-bound lifetime simulations can exceed go test's
+# default 10m per-package budget under the race detector's slowdown on
+# small (single-core CI) machines; a genuine deadlock still fails, just
+# later. tier2 also spends a short fuzz budget on each fuzz target.
+tier2: fuzz
 	$(GO) vet ./...
 	$(GO) test -race -timeout 45m ./...
 
-# Short fuzz burst over the wire decoder (seed corpus always runs as part
-# of tier1; this explores beyond it).
+# Short fuzz burst over every fuzz target (their seed corpora always run
+# as plain tests in tier1; this explores beyond them). Each target fuzzes
+# for FUZZTIME; -run '^$' skips the package's unit tests so the whole
+# budget goes to fuzzing.
+FUZZTIME ?= 10s
 fuzz:
-	$(GO) test ./internal/wire -fuzz FuzzReadFrame -fuzztime 30s
+	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzReadFrame -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/server -run '^$$' -fuzz FuzzLoadSnapshot -fuzztime $(FUZZTIME)
 
 # Index + pipeline micro-benchmarks with allocation stats, written as
 # BENCH_pipeline.json. The raw `go test -bench` text is embedded under

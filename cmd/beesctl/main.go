@@ -6,12 +6,20 @@
 //
 //	beesctl [-addr 127.0.0.1:7700] [-scheme bees|bees-ea|direct|smarteye|mrc]
 //	        [-batch 100] [-inbatch 10] [-seed 1] [-ebat 1.0] [-bitrate 256000]
-//	        [-repeat 1] [-timeout 10s] [-retries 3] [-push-telemetry]
+//	        [-repeat 1] [-timeout 10s] [-retries 3] [-outbox /path/to/dir]
+//	        [-push-telemetry]
 //
 //	beesctl stats [-debug-addr 127.0.0.1:7701] [-json]
 //
 // Repeating the same seed demonstrates cross-batch elimination: the
 // second run finds the first run's images in the server index.
+//
+// With -outbox (bees/bees-ea schemes only), upload chunks that exhaust
+// their retries are spilled to the given directory instead of being
+// dropped; chunks left over from earlier partitioned runs are replayed
+// first, and anything still queued when the run ends survives on disk
+// for the next invocation (see DESIGN.md, "Fault tolerance &
+// overload").
 //
 // The run collects per-stage telemetry (spans, counters, EAAS knob
 // gauges) in a local registry and, unless -push-telemetry=false, pushes
@@ -36,6 +44,7 @@ import (
 	"bees/internal/dataset"
 	"bees/internal/energy"
 	"bees/internal/netsim"
+	"bees/internal/outbox"
 	"bees/internal/telemetry"
 )
 
@@ -66,14 +75,32 @@ func run() error {
 		repeat  = flag.Int("repeat", 1, "number of batches to upload")
 		timeout = flag.Duration("timeout", 10*time.Second, "per-request deadline")
 		retries = flag.Int("retries", 3, "retries per failed request (fresh connection each)")
+		boxDir  = flag.String("outbox", "", "spill failed upload chunks to this directory and replay them when the link recovers (bees/bees-ea only)")
 		push    = flag.Bool("push-telemetry", true, "push the run's telemetry snapshot to beesd on exit")
 	)
 	flag.Parse()
+	if *inBatch >= *batch {
+		return fmt.Errorf("-inbatch (%d) must be below -batch (%d)", *inBatch, *batch)
+	}
 
 	// One registry for the whole run: the pipeline's stage spans and the
 	// client's transport counters land in the same snapshot.
 	reg := telemetry.NewRegistry()
-	s, err := pickScheme(*scheme, reg)
+	var box *outbox.Outbox
+	if *boxDir != "" {
+		if *scheme != "bees" && *scheme != "bees-ea" {
+			return fmt.Errorf("-outbox only applies to the bees/bees-ea schemes, not %q", *scheme)
+		}
+		var err error
+		box, err = outbox.Open(outbox.Config{Dir: *boxDir, Telemetry: reg})
+		if err != nil {
+			return err
+		}
+		if n := box.Len(); n > 0 {
+			fmt.Printf("outbox: %d chunks pending from earlier runs\n", n)
+		}
+	}
+	s, err := pickScheme(*scheme, reg, box)
 	if err != nil {
 		return err
 	}
@@ -82,12 +109,25 @@ func run() error {
 		RequestTimeout: *timeout,
 		MaxRetries:     *retries,
 		Telemetry:      reg,
+		// With an outbox the run is useful even when beesd is away: the
+		// pipeline degrades queries and spools uploads, so don't fail fast
+		// on the first dial.
+		LazyDial: box != nil,
 	})
 	if err != nil {
 		return err
 	}
 	defer c.Close()
 	remote := client.NewRemoteServer(c)
+	if box != nil && box.Len() > 0 {
+		// Replay the previous run's backlog before generating new load.
+		drainer := outbox.NewDrainer(box, func(ch *outbox.Chunk) error {
+			return remote.UploadBatchWithNonce(ch.Nonce, ch.Items)
+		})
+		if n, err := drainer.DrainOnce(); n > 0 || err != nil {
+			fmt.Printf("outbox: replayed %d leftover chunks (%v)\n", n, errOrOK(err))
+		}
+	}
 
 	link := netsim.NewLink(*bitrate)
 	if *gilbert {
@@ -111,8 +151,25 @@ func run() error {
 			fmt.Printf("  degraded: %d requests exhausted their retries\n", r.Degraded)
 		}
 	}
-	if m := c.Metrics(); m.Retries > 0 || m.Redials > 0 {
-		fmt.Printf("transport: %d retries, %d redials\n", m.Retries, m.Redials)
+	if box != nil && box.Len() > 0 {
+		// The run left chunks behind (retries exhausted mid-run). Try one
+		// drain pass now that the batch load is off the link; whatever
+		// still fails stays on disk for the next invocation.
+		drainer := outbox.NewDrainer(box, func(ch *outbox.Chunk) error {
+			return remote.UploadBatchWithNonce(ch.Nonce, ch.Items)
+		})
+		if n, err := drainer.DrainOnce(); n > 0 || err != nil {
+			fmt.Printf("outbox: replayed %d chunks (%v)\n", n, errOrOK(err))
+		}
+	}
+	if m := c.Metrics(); m.Retries > 0 || m.Redials > 0 || m.BusyHolds > 0 || m.BreakerTrips > 0 {
+		fmt.Printf("transport: %d retries, %d redials, %d busy holds, %d breaker trips (state %s)\n",
+			m.Retries, m.Redials, m.BusyHolds, m.BreakerTrips, breakerStateName(m.BreakerState))
+	}
+	if box != nil {
+		st := box.Stats()
+		fmt.Printf("outbox: %d chunks (%d images) pending, %d spilled, %d evicted, %d replayed, %d corrupt\n",
+			st.Depth, st.Items, st.Spilled, st.Evicted, st.Replayed, st.Corrupt)
 	}
 	if *push {
 		if err := c.PushTelemetry(reg.Snapshot()); err != nil {
@@ -166,16 +223,18 @@ func runStats(args []string) error {
 	return nil
 }
 
-func pickScheme(name string, reg *telemetry.Registry) (core.Scheme, error) {
+func pickScheme(name string, reg *telemetry.Registry, box *outbox.Outbox) (core.Scheme, error) {
 	switch name {
 	case "bees":
 		cfg := core.DefaultConfig()
 		cfg.Telemetry = reg
+		cfg.Outbox = box
 		return core.New(cfg), nil
 	case "bees-ea":
 		cfg := core.DefaultConfig()
 		cfg.Adaptive = false
 		cfg.Telemetry = reg
+		cfg.Outbox = box
 		return core.New(cfg), nil
 	case "direct":
 		return baseline.Direct{}, nil
@@ -189,3 +248,21 @@ func pickScheme(name string, reg *telemetry.Registry) (core.Scheme, error) {
 }
 
 func mbf(b int) float64 { return float64(b) / (1 << 20) }
+
+func errOrOK(err error) string {
+	if err != nil {
+		return err.Error()
+	}
+	return "ok"
+}
+
+func breakerStateName(s int) string {
+	switch s {
+	case client.BreakerOpen:
+		return "open"
+	case client.BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

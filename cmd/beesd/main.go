@@ -5,11 +5,20 @@
 // Usage:
 //
 //	beesd [-addr 127.0.0.1:7700] [-state /path/to/state.bees]
-//	      [-idle-timeout 2m] [-max-conns 256] [-debug-addr 127.0.0.1:7701]
+//	      [-snapshot-interval 0] [-idle-timeout 2m] [-max-conns 256]
+//	      [-max-inflight-frames 256] [-max-inflight-bytes 67108864]
+//	      [-debug-addr 127.0.0.1:7701]
 //
 // With -state, the server restores its index from the snapshot at
 // startup and writes it back on shutdown, so redundancy detection
-// carries across restarts.
+// carries across restarts. A nonzero -snapshot-interval additionally
+// saves the snapshot periodically while running, bounding how much a
+// crash (as opposed to a clean shutdown) can lose.
+//
+// -max-inflight-frames and -max-inflight-bytes bound the work the
+// server admits at once; past either limit it answers query/upload
+// frames with a Busy response instead of queueing them (see DESIGN.md,
+// "Fault tolerance & overload").
 //
 // With -debug-addr, the server additionally serves a JSON telemetry
 // snapshot at /debug/vars (frames, dedup hits, rejected connections,
@@ -45,10 +54,16 @@ func main() {
 func run() error {
 	addr := flag.String("addr", "127.0.0.1:7700", "listen address")
 	state := flag.String("state", "", "snapshot file (restored on start, saved on shutdown)")
+	snapEvery := flag.Duration("snapshot-interval", 0, "also save the snapshot periodically while running (0 disables; needs -state)")
 	idle := flag.Duration("idle-timeout", 2*time.Minute, "drop connections idle (or stalled mid-frame) this long")
 	maxConns := flag.Int("max-conns", 256, "maximum simultaneous connections")
+	maxFrames := flag.Int("max-inflight-frames", 0, "answer Busy past this many in-flight request frames (0 = default 256)")
+	maxBytes := flag.Int64("max-inflight-bytes", 0, "answer Busy past this many announced in-flight payload bytes (0 = default 64 MiB)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars (JSON telemetry snapshot) and /debug/pprof on this address")
 	flag.Parse()
+	if *snapEvery > 0 && *state == "" {
+		return errors.New("-snapshot-interval needs -state")
+	}
 
 	srv := server.NewDefault()
 	if *state != "" {
@@ -61,9 +76,11 @@ func run() error {
 	}
 	reg := telemetry.NewRegistry()
 	tcp := server.NewTCPConfig(srv, server.TCPConfig{
-		IdleTimeout: *idle,
-		MaxConns:    *maxConns,
-		Telemetry:   reg,
+		IdleTimeout:       *idle,
+		MaxConns:          *maxConns,
+		MaxInflightFrames: *maxFrames,
+		MaxInflightBytes:  *maxBytes,
+		Telemetry:         reg,
 	})
 	bound, err := tcp.Listen(*addr)
 	if err != nil {
@@ -86,12 +103,22 @@ func run() error {
 		fmt.Printf("debug endpoint on http://%s/debug/vars\n", debugLn.Addr())
 	}
 
+	var stopAutoSave func()
+	if *snapEvery > 0 {
+		stopAutoSave = srv.AutoSave(*state, *snapEvery, log.Printf)
+		fmt.Printf("autosaving to %s every %s\n", *state, *snapEvery)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	st := srv.Stats()
 	fmt.Printf("shutting down: %d images, %d bytes received\n", st.Images, st.BytesReceived)
-	if *state != "" {
+	switch {
+	case stopAutoSave != nil:
+		stopAutoSave() // takes the final snapshot itself
+		fmt.Printf("state saved to %s\n", *state)
+	case *state != "":
 		if err := srv.SaveSnapshotFile(*state); err != nil {
 			log.Printf("snapshot save failed: %v", err)
 		} else {

@@ -1,0 +1,144 @@
+package client
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"bees/internal/telemetry"
+)
+
+// Breaker states, exported through Metrics.BreakerState and the
+// "client.breaker.state" gauge.
+const (
+	BreakerClosed   = 0 // requests flow
+	BreakerOpen     = 1 // consecutive failures tripped the breaker; attempts held
+	BreakerHalfOpen = 2 // hold expired; the next attempt is the probe
+)
+
+// breaker is a pacing circuit breaker for the disaster link. Unlike a
+// fail-fast breaker it never rejects work — pipeline uploads must not be
+// dropped just because the link flapped — it *holds* the next attempt
+// until the cooldown passes. Holding does not consume the caller's retry
+// budget, so a long partition ends with the retry budget still mostly
+// intact and the request failing quickly into the outbox.
+//
+// closed → open after threshold consecutive transport failures;
+// open → half-open once the hold expires (the single in-flight request —
+// reqMu serializes them — becomes the probe); half-open → closed on a
+// successful probe, or back to open with a doubled hold on a failed one.
+//
+// The same hold mechanism paces server-shed requests: hold(d) parks the
+// next attempt for the server's retry-after hint without touching the
+// failure count or escalating the cooldown.
+type breaker struct {
+	threshold   int
+	base, max   time.Duration
+	stateGauge  *telemetry.Gauge
+	tripCounter *telemetry.Counter
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	state     int
+	failures  int
+	cooldown  time.Duration // next open-hold, doubling up to max
+	holdUntil time.Time
+}
+
+func newBreaker(threshold int, base, max time.Duration, seed int64, tel *telemetry.Registry) *breaker {
+	b := &breaker{
+		threshold:   threshold,
+		base:        base,
+		max:         max,
+		cooldown:    base,
+		rng:         rand.New(rand.NewSource(seed)),
+		stateGauge:  tel.Gauge("client.breaker.state"),
+		tripCounter: tel.Counter("client.breaker.trips"),
+	}
+	b.stateGauge.Set(BreakerClosed)
+	return b
+}
+
+// wait blocks until the breaker permits an attempt (hold expired) or the
+// client closes. An expired open hold transitions to half-open: the
+// caller's attempt is the probe.
+func (b *breaker) wait(closeCh <-chan struct{}) error {
+	for {
+		b.mu.Lock()
+		d := time.Until(b.holdUntil)
+		if d <= 0 {
+			if b.state == BreakerOpen {
+				b.setStateLocked(BreakerHalfOpen)
+			}
+			b.mu.Unlock()
+			return nil
+		}
+		b.mu.Unlock()
+		select {
+		case <-time.After(d):
+		case <-closeCh:
+			return ErrClosed
+		}
+	}
+}
+
+// onSuccess records a working transport: failures reset, the cooldown
+// de-escalates, and a half-open probe closes the breaker.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.cooldown = b.base
+	if b.state != BreakerClosed {
+		b.setStateLocked(BreakerClosed)
+	}
+}
+
+// onFailure records a transport failure. A failed half-open probe
+// reopens immediately with a doubled hold; in closed state the breaker
+// trips once threshold consecutive failures accumulate.
+func (b *breaker) onFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if b.state == BreakerHalfOpen || b.failures >= b.threshold {
+		b.tripLocked()
+	}
+}
+
+// hold parks the next attempt for d (server busy hint). No failure
+// accounting: the transport worked, the server just refused the load.
+func (b *breaker) hold(d time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	until := time.Now().Add(d)
+	if until.After(b.holdUntil) {
+		b.holdUntil = until
+	}
+}
+
+func (b *breaker) tripLocked() {
+	b.setStateLocked(BreakerOpen)
+	d := b.cooldown
+	// ±50% seeded jitter — same rationale as retry backoff: a fleet of
+	// phones that partitioned together must not probe in sync.
+	d = d/2 + time.Duration(b.rng.Int63n(int64(d)))
+	b.holdUntil = time.Now().Add(d)
+	b.cooldown *= 2
+	if b.cooldown > b.max {
+		b.cooldown = b.max
+	}
+	b.tripCounter.Inc()
+}
+
+func (b *breaker) setStateLocked(s int) {
+	b.state = s
+	b.stateGauge.Set(float64(s))
+}
+
+// State returns the current breaker state (Breaker* constants).
+func (b *breaker) State() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

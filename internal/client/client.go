@@ -55,11 +55,31 @@ type Options struct {
 	// UploadBatch splits larger batches into successive frames so a single
 	// frame never approaches wire.MaxFrameBytes. Default 32.
 	UploadWindow int
+	// BreakerThreshold is how many consecutive transport failures open
+	// the circuit breaker; while open, the next attempt is *held* (not
+	// rejected) until a cooldown passes, so a dead link is probed gently
+	// instead of hammered. Default 8 — above the per-request retry
+	// budget, so the breaker only trips across requests, never within a
+	// healthy one.
+	BreakerThreshold int
+	// BreakerCooldown is the first open-state hold; each failed probe
+	// doubles it up to BreakerCooldownMax. Defaults 50ms and 250ms.
+	BreakerCooldown    time.Duration
+	BreakerCooldownMax time.Duration
+	// MaxBusyWaits caps how many consecutive BusyResponse holds one
+	// request tolerates before surfacing an error; busy holds do not
+	// consume the retry budget. Default 8.
+	MaxBusyWaits int
 	// Seed fixes the jitter and nonce RNG for reproducible tests; 0 draws
 	// a random seed.
 	Seed int64
 	// Dial replaces net.DialTimeout, e.g. with a fault-injecting link.
 	Dial DialFunc
+	// LazyDial skips the eager connection in DialOptions: the client is
+	// returned immediately and the first request dials (with the usual
+	// retry machinery). A device that spools uploads to an outbox wants
+	// this — it must start even while the server is unreachable.
+	LazyDial bool
 	// Telemetry is the registry the client's transport counters
 	// ("client.dials", "client.retries", "client.requests") land in —
 	// share one registry across the app to scrape everything at once.
@@ -86,6 +106,18 @@ func (o Options) withDefaults() Options {
 	}
 	if o.UploadWindow <= 0 {
 		o.UploadWindow = 32
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 8
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 50 * time.Millisecond
+	}
+	if o.BreakerCooldownMax <= 0 {
+		o.BreakerCooldownMax = 250 * time.Millisecond
+	}
+	if o.MaxBusyWaits <= 0 {
+		o.MaxBusyWaits = 8
 	}
 	if o.Seed == 0 {
 		o.Seed = rand.Int63()
@@ -117,6 +149,15 @@ type Metrics struct {
 	Retries int64
 	// Redials is how many connections were established after the first.
 	Redials int64
+	// BreakerState is the circuit breaker's current state (Breaker*
+	// constants: 0 closed, 1 open, 2 half-open).
+	BreakerState int
+	// BreakerTrips counts closed→open transitions.
+	BreakerTrips int64
+	// BusyHolds counts attempts the server answered with BusyResponse;
+	// each held the request for the server's retry-after hint without
+	// consuming retry budget.
+	BusyHolds int64
 }
 
 // Client is a connection to a beesd server. Methods are safe for
@@ -140,9 +181,15 @@ type Client struct {
 	// Transport counters live in the telemetry registry; the pointers are
 	// resolved once at construction so the hot path never takes the
 	// registry lock.
-	dials    *telemetry.Counter
-	retries  *telemetry.Counter
-	requests *telemetry.Counter
+	dials     *telemetry.Counter
+	retries   *telemetry.Counter
+	requests  *telemetry.Counter
+	busyHolds *telemetry.Counter
+
+	// breaker paces attempts across requests: consecutive transport
+	// failures open it, and server BusyResponses park the next attempt
+	// through it.
+	breaker *breaker
 }
 
 // Dial connects to a beesd server with default fault tolerance; timeout
@@ -163,9 +210,15 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 		opts:     opts,
 		rng:      rand.New(rand.NewSource(opts.Seed)),
 		closeCh:  make(chan struct{}),
-		dials:    opts.Telemetry.Counter("client.dials"),
-		retries:  opts.Telemetry.Counter("client.retries"),
-		requests: opts.Telemetry.Counter("client.requests"),
+		dials:     opts.Telemetry.Counter("client.dials"),
+		retries:   opts.Telemetry.Counter("client.retries"),
+		requests:  opts.Telemetry.Counter("client.requests"),
+		busyHolds: opts.Telemetry.Counter("client.busy_holds"),
+		breaker: newBreaker(opts.BreakerThreshold, opts.BreakerCooldown,
+			opts.BreakerCooldownMax, opts.Seed+1, opts.Telemetry),
+	}
+	if opts.LazyDial {
+		return c, nil
 	}
 	conn, err := c.dial()
 	if err != nil {
@@ -186,11 +239,14 @@ func (c *Client) dial() (net.Conn, error) {
 	return conn, nil
 }
 
-// Metrics returns a snapshot of the retry/redial counters.
+// Metrics returns a snapshot of the retry/redial/breaker counters.
 func (c *Client) Metrics() Metrics {
 	return Metrics{
-		Retries: c.retries.Value(),
-		Redials: max64(c.dials.Value()-1, 0),
+		Retries:      c.retries.Value(),
+		Redials:      max64(c.dials.Value()-1, 0),
+		BreakerState: c.breaker.State(),
+		BreakerTrips: c.opts.Telemetry.Counter("client.breaker.trips").Value(),
+		BusyHolds:    c.busyHolds.Value(),
 	}
 }
 
@@ -266,49 +322,75 @@ func (c *Client) backoff(n int) error {
 }
 
 // roundTrip writes one frame and reads one response frame, retrying over
-// fresh connections until the retry budget is spent.
+// fresh connections until the retry budget is spent. Two kinds of pause
+// gate the attempts without consuming that budget: the circuit breaker's
+// open-state hold (the link has been failing across requests) and the
+// server's BusyResponse retry-after hint (the transport works, the
+// server is shedding load).
 func (c *Client) roundTrip(req any) (any, error) {
 	c.reqMu.Lock()
 	defer c.reqMu.Unlock()
 	c.requests.Inc()
 	var lastErr error
-	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
-		if attempt > 0 {
-			if err := c.backoff(attempt); err != nil {
-				return nil, err
-			}
-			c.retries.Inc()
+	attempt, busyWaits := 0, 0
+	for {
+		// Breaker gate: holds (possibly repeatedly) until the cooldown or
+		// busy hint expires. In open state the attempt that passes is the
+		// half-open probe — reqMu makes it naturally single-flight.
+		if err := c.breaker.wait(c.closeCh); err != nil {
+			return nil, err
 		}
 		conn, err := c.ensureConn()
-		if err != nil {
-			if errors.Is(err, ErrClosed) {
+		if err == nil {
+			var resp any
+			resp, err = c.attempt(conn, req)
+			if err == nil {
+				if busy, ok := resp.(*wire.BusyResponse); ok {
+					// The server shed this request without applying it. The
+					// transport worked (the probe succeeded), so pace via the
+					// hint and resend the identical frame — same nonce — with
+					// the retry budget untouched.
+					c.breaker.onSuccess()
+					c.busyHolds.Inc()
+					busyWaits++
+					if busyWaits > c.opts.MaxBusyWaits {
+						return nil, fmt.Errorf("client: server busy after %d holds (retry-after %dms)",
+							busyWaits, busy.RetryAfterMs)
+					}
+					c.breaker.hold(time.Duration(busy.RetryAfterMs) * time.Millisecond)
+					continue
+				}
+				c.breaker.onSuccess()
+				return resp, nil
+			}
+			var se *serverError
+			if errors.As(err, &se) {
+				// The exchange succeeded; the server rejected the request.
+				c.breaker.onSuccess()
 				return nil, err
 			}
-			lastErr = err
-			continue
+			if errors.Is(err, wire.ErrUnencodable) {
+				// Nothing hit the wire; the connection is still good and a
+				// retry would fail identically.
+				return nil, err
+			}
+			c.dropConn(conn)
 		}
-		resp, err := c.attempt(conn, req)
-		if err == nil {
-			return resp, nil
-		}
-		var se *serverError
-		if errors.As(err, &se) {
-			// The exchange succeeded; the server rejected the request.
-			return nil, err
-		}
-		if errors.Is(err, wire.ErrUnencodable) {
-			// Nothing hit the wire; the connection is still good and a
-			// retry would fail identically.
-			return nil, err
-		}
-		c.dropConn(conn)
-		if c.isClosed() {
+		if errors.Is(err, ErrClosed) || c.isClosed() {
 			return nil, ErrClosed
 		}
+		c.breaker.onFailure()
 		lastErr = err
+		attempt++
+		if attempt > c.opts.MaxRetries {
+			return nil, fmt.Errorf("client: request failed after %d attempts: %w",
+				c.opts.MaxRetries+1, lastErr)
+		}
+		if err := c.backoff(attempt); err != nil {
+			return nil, err
+		}
+		c.retries.Inc()
 	}
-	return nil, fmt.Errorf("client: request failed after %d attempts: %w",
-		c.opts.MaxRetries+1, lastErr)
 }
 
 // attempt performs one request/response exchange under the per-request
@@ -414,7 +496,19 @@ func (c *Client) UploadBatch(items []wire.UploadBatchItem) ([]int64, error) {
 }
 
 func (c *Client) uploadBatchChunk(items []wire.UploadBatchItem) ([]int64, error) {
-	resp, err := c.roundTrip(&wire.UploadBatchRequest{Nonce: c.newNonce(), Items: items})
+	return c.UploadBatchNonce(c.newNonce(), items)
+}
+
+// UploadBatchNonce sends items in one batched-upload frame carrying the
+// caller's nonce rather than a fresh one. This is the outbox replay
+// path: re-sending a chunk under its original nonce makes the replay
+// idempotent — if the chunk actually landed before the partition ate the
+// response, the server's dedup window returns the original IDs instead
+// of storing the images twice. Unlike UploadBatch, the items are NOT
+// split across frames (a chunk shares one nonce, and the pipeline
+// already sizes chunks to its upload window).
+func (c *Client) UploadBatchNonce(nonce uint64, items []wire.UploadBatchItem) ([]int64, error) {
+	resp, err := c.roundTrip(&wire.UploadBatchRequest{Nonce: nonce, Items: items})
 	if err != nil {
 		return nil, err
 	}
@@ -427,6 +521,11 @@ func (c *Client) uploadBatchChunk(items []wire.UploadBatchItem) ([]int64, error)
 	}
 	return br.IDs, nil
 }
+
+// NewNonce draws a nonzero upload nonce for a caller that manages its
+// own replay (core.Pipeline stamps outbox chunks with it before the
+// first attempt, so replays dedup against that attempt).
+func (c *Client) NewNonce() uint64 { return c.newNonce() }
 
 // newNonce draws a nonzero upload nonce. Called before roundTrip takes
 // reqMu, so it synchronizes on it explicitly.

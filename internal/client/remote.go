@@ -49,13 +49,26 @@ func (r *RemoteServer) QueryMaxBatch(sets []*features.BinarySet) []float64 {
 // real (compressed) image size. On failure only the items of the frames
 // that never completed count as degraded.
 func (r *RemoteServer) UploadBatch(items []server.UploadItem) error {
-	wireItems := make([]wire.UploadBatchItem, len(items))
+	ids, err := r.c.UploadBatch(wireItems(items))
+	if err != nil {
+		r.degradeN(err, len(items)-len(ids))
+		log.Printf("beesctl: batch upload failed after %d of %d items: %v", len(ids), len(items), err)
+		return err
+	}
+	return nil
+}
+
+// wireItems converts server upload items to their wire form; each item's
+// blob is a payload of exactly Meta.Bytes bytes so the transport carries
+// the real (compressed) image size.
+func wireItems(items []server.UploadItem) []wire.UploadBatchItem {
+	out := make([]wire.UploadBatchItem, len(items))
 	for i, it := range items {
 		set := it.Set
 		if set == nil {
 			set = &features.BinarySet{}
 		}
-		wireItems[i] = wire.UploadBatchItem{
+		out[i] = wire.UploadBatchItem{
 			Set:     set,
 			GroupID: it.Meta.GroupID,
 			Lat:     it.Meta.Lat,
@@ -63,10 +76,22 @@ func (r *RemoteServer) UploadBatch(items []server.UploadItem) error {
 			Blob:    make([]byte, it.Meta.Bytes),
 		}
 	}
-	ids, err := r.c.UploadBatch(wireItems)
-	if err != nil {
-		r.degradeN(err, len(items)-len(ids))
-		log.Printf("beesctl: batch upload failed after %d of %d items: %v", len(ids), len(items), err)
+	return out
+}
+
+// NewUploadNonce implements core.NonceUploader: the pipeline stamps each
+// upload chunk with a nonce before the first attempt so a later outbox
+// replay of the same chunk dedups against it.
+func (r *RemoteServer) NewUploadNonce() uint64 { return r.c.NewNonce() }
+
+// UploadBatchWithNonce implements core.NonceUploader: one batched-upload
+// frame under the caller's nonce. Used both for the pipeline's first
+// attempt on an outbox-tracked chunk and for the drainer's replays.
+// Failures degrade the whole chunk (no partial frames here).
+func (r *RemoteServer) UploadBatchWithNonce(nonce uint64, items []server.UploadItem) error {
+	if _, err := r.c.UploadBatchNonce(nonce, wireItems(items)); err != nil {
+		r.degradeN(err, len(items))
+		log.Printf("beesctl: nonce upload of %d items failed: %v", len(items), err)
 		return err
 	}
 	return nil

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"errors"
 	"log"
 
 	"bees/internal/dataset"
 	"bees/internal/energy"
 	"bees/internal/features"
 	"bees/internal/imagelib"
+	"bees/internal/outbox"
 	"bees/internal/server"
 	"bees/internal/submod"
 	"bees/internal/telemetry"
@@ -45,6 +47,13 @@ type Config struct {
 	// EAAS knob gauges for every processed batch (see DESIGN.md,
 	// "Observability"). Nil disables instrumentation at zero cost.
 	Telemetry *telemetry.Registry
+	// Outbox, when set, catches upload chunks whose retry budget was
+	// exhausted: instead of being dropped, the chunk (items + the nonce
+	// the attempt carried, when the transport implements NonceUploader)
+	// is queued for background replay once the link heals. Chunks are
+	// stamped with their summed SSMM marginal gains so overflow evicts
+	// the least-valuable imagery first.
+	Outbox *outbox.Outbox
 }
 
 // DefaultConfig returns the pipeline settings used in the evaluation.
@@ -160,13 +169,20 @@ func (p *Pipeline) ProcessBatch(dev *Device, srv ServerAPI, batch []*dataset.Ima
 
 	// --- ARD part 2: IBRD via SSMM over the survivors. ------------------
 	selected := survivors
+	// gains maps batch index → the image's SSMM marginal gain, the
+	// per-image submodular utility outbox eviction ranks by. Images that
+	// bypass SSMM (in-batch disabled, or a trivial survivor set) have no
+	// gain and default to 1 below.
+	var gains map[int]float64
 	if !p.cfg.DisableInBatch && len(survivors) > 1 {
 		span = tel.StartSpan("ard.ibrd")
 		g := BuildBatchGraph(sets, survivors, p.cfg.GraphDescriptors, p.cfg.HammingMax)
 		res := submod.Summarize(g, SSMMThreshold(ebat), p.cfg.SSMM)
 		selected = make([]int, 0, len(res.Selected))
-		for _, li := range res.Selected {
+		gains = make(map[int]float64, len(res.Selected))
+		for i, li := range res.Selected {
 			selected = append(selected, survivors[li])
+			gains[survivors[li]] = res.Gains[i]
 		}
 		report.InBatchEliminated = len(survivors) - len(selected)
 		span.End()
@@ -185,11 +201,13 @@ func (p *Pipeline) ProcessBatch(dev *Device, srv ServerAPI, batch []*dataset.Ima
 	tel.Gauge("eaas.eau").Set(resC)
 	span = tel.StartSpan("aiu.upload")
 	uploadHist := tel.Histogram("pipeline.upload.bytes", telemetry.SizeBuckets())
+	box := p.cfg.Outbox
+	nu, hasNonce := srv.(NonceUploader)
 	var pending chan struct{}
 	// Upload goroutines run one at a time (chunk k is joined via pending
-	// before chunk k+1 starts), so plain writes to uploadErr are ordered
-	// by the channel close/receive pairs.
-	var uploadErr error
+	// before chunk k+1 starts), so plain appends to uploadErrs are
+	// ordered by the channel close/receive pairs.
+	var uploadErrs []error
 	for start := 0; start < len(selected); start += p.cfg.UploadWindow {
 		end := start + p.cfg.UploadWindow
 		if end > len(selected) {
@@ -220,11 +238,45 @@ func (p *Pipeline) ProcessBatch(dev *Device, srv ServerAPI, batch []*dataset.Ima
 			uploadHist.Observe(int64(sizes[k]))
 			batch[chunk[k]].Free()
 		}
+		chunkUtil := 0.0
+		for _, bi := range chunk {
+			if g, ok := gains[bi]; ok {
+				chunkUtil += g
+			} else {
+				chunkUtil++
+			}
+		}
 		done := make(chan struct{})
 		go func() {
 			defer close(done)
-			if err := srv.UploadBatch(items); err != nil {
-				uploadErr = err
+			// With an outbox and a nonce-capable transport, the chunk's
+			// first attempt already carries the nonce a replay will reuse.
+			// The nonce is drawn here, inside the upload goroutine, because
+			// the client serializes nonce draws with in-flight round trips —
+			// drawing it on the main goroutine would stall compression of
+			// the next chunk behind this chunk's upload.
+			var err error
+			var nonce uint64
+			if box != nil && hasNonce {
+				nonce = nu.NewUploadNonce()
+				err = nu.UploadBatchWithNonce(nonce, items)
+			} else {
+				err = srv.UploadBatch(items)
+			}
+			if err == nil {
+				return
+			}
+			// Each failed chunk counts once; RemoteServer additionally
+			// self-accounts per-item degradation via DegradationCounter.
+			tel.Counter("pipeline.upload.errors").Inc()
+			uploadErrs = append(uploadErrs, err)
+			if box == nil {
+				return
+			}
+			if perr := box.Push(nonce, chunkUtil, items); perr != nil {
+				uploadErrs = append(uploadErrs, perr)
+			} else {
+				tel.Counter("pipeline.outbox.enqueued").Inc()
 			}
 		}()
 		pending = done
@@ -232,12 +284,12 @@ func (p *Pipeline) ProcessBatch(dev *Device, srv ServerAPI, batch []*dataset.Ima
 	if pending != nil {
 		<-pending
 	}
-	if uploadErr != nil {
-		// RemoteServer self-accounts failures via DegradationCounter (and
-		// logs them itself); this covers ServerAPI implementations whose
-		// only failure signal is the returned error.
-		tel.Counter("pipeline.upload.errors").Inc()
-		log.Printf("bees: batch upload failed: %v", uploadErr)
+	if len(uploadErrs) > 0 {
+		// RemoteServer logs individual failures itself; this joins every
+		// chunk's error (and any outbox spill failure) so ServerAPI
+		// implementations whose only failure signal is the returned error
+		// still surface all of them, not just the last.
+		log.Printf("bees: batch upload failed: %v", errors.Join(uploadErrs...))
 	}
 	span.End()
 	for _, img := range batch {

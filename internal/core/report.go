@@ -30,6 +30,20 @@ type ServerAPI interface {
 
 var _ ServerAPI = (*server.Server)(nil)
 
+// NonceUploader is an optional ServerAPI extension for transports whose
+// server deduplicates uploads by nonce (the beesd wire path). When the
+// pipeline runs with an outbox, it draws the nonce itself and stamps the
+// queued chunk with it on failure, so a later replay of the chunk dedups
+// against the original attempt — exactly-once accounting even when the
+// first attempt landed but its response was lost to the partition.
+type NonceUploader interface {
+	// NewUploadNonce draws a fresh nonzero nonce.
+	NewUploadNonce() uint64
+	// UploadBatchWithNonce stores the items in one frame under the
+	// caller's nonce. Same error semantics as ServerAPI.UploadBatch.
+	UploadBatchWithNonce(nonce uint64, items []server.UploadItem) error
+}
+
 // PerImageAPI is the legacy one-call-per-image server surface kept for
 // comparison and migration: the batched ServerAPI supersedes it on the
 // hot path.

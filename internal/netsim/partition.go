@@ -1,0 +1,164 @@
+package netsim
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrPartitioned is the error dials and I/O surface while a Partition
+// gate is severed.
+var ErrPartitioned = errors.New("netsim: link partitioned")
+
+// Partition is an on/off gate modelling the long outages of a disaster
+// network — not the per-operation faults of FaultConn, but minutes of
+// nothing. While severed, new dials fail fast and every connection
+// previously dialed through the gate is killed, so in-flight requests
+// fail the way a real partition fails them: mid-frame.
+//
+// Compose with FaultyDialer for a link that is both lossy and
+// partition-prone: p.Dialer(netsim.FaultyDialer(cfg)).
+type Partition struct {
+	mu    sync.Mutex
+	down  bool
+	conns map[net.Conn]struct{}
+}
+
+// NewPartition returns a healed (passing) partition gate.
+func NewPartition() *Partition {
+	return &Partition{conns: make(map[net.Conn]struct{})}
+}
+
+// Sever cuts the link: tracked connections are closed immediately and
+// dials fail until Heal.
+func (p *Partition) Sever() {
+	p.mu.Lock()
+	p.down = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.conns = make(map[net.Conn]struct{})
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Heal restores the link.
+func (p *Partition) Heal() {
+	p.mu.Lock()
+	p.down = false
+	p.mu.Unlock()
+}
+
+// Down reports whether the link is currently severed.
+func (p *Partition) Down() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.down
+}
+
+// Dialer wraps an inner dial function with the gate: dials fail fast
+// while severed, and successful connections are tracked so a later
+// Sever kills them. inner nil means plain net.DialTimeout.
+func (p *Partition) Dialer(inner func(addr string, timeout time.Duration) (net.Conn, error)) func(addr string, timeout time.Duration) (net.Conn, error) {
+	if inner == nil {
+		inner = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		if p.Down() {
+			return nil, ErrPartitioned
+		}
+		conn, err := inner(addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		pc := &partitionConn{Conn: conn, p: p}
+		p.mu.Lock()
+		if p.down {
+			// Severed between the check and the dial completing.
+			p.mu.Unlock()
+			conn.Close()
+			return nil, ErrPartitioned
+		}
+		p.conns[conn] = struct{}{}
+		p.mu.Unlock()
+		return pc, nil
+	}
+}
+
+// forget drops a closed connection from the tracking set.
+func (p *Partition) forget(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+// partitionConn fails I/O with ErrPartitioned while the gate is down.
+// The underlying conn is already closed by Sever, so the checks only
+// sharpen the error; they also catch a conn dialed before a partition
+// being used after one started.
+type partitionConn struct {
+	net.Conn
+	p *Partition
+}
+
+func (c *partitionConn) Read(b []byte) (int, error) {
+	if c.p.Down() {
+		return 0, ErrPartitioned
+	}
+	return c.Conn.Read(b)
+}
+
+func (c *partitionConn) Write(b []byte) (int, error) {
+	if c.p.Down() {
+		return 0, ErrPartitioned
+	}
+	return c.Conn.Write(b)
+}
+
+func (c *partitionConn) Close() error {
+	c.p.forget(c.Conn)
+	return c.Conn.Close()
+}
+
+// PartitionStep is one phase of a scripted outage.
+type PartitionStep struct {
+	// After is how long this phase lasts before the next begins.
+	After time.Duration
+	// Down is the link state during the phase.
+	Down bool
+}
+
+// RunScript walks the partition through the scripted phases in a
+// background goroutine: each step applies its Down state, holds it for
+// After, then advances. The returned stop function cancels the script
+// (leaving the link in whatever state it reached) and waits for the
+// goroutine to exit.
+func (p *Partition) RunScript(steps []PartitionStep) (stop func()) {
+	closeCh := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, s := range steps {
+			if s.Down {
+				p.Sever()
+			} else {
+				p.Heal()
+			}
+			select {
+			case <-time.After(s.After):
+			case <-closeCh:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(closeCh)
+		<-done
+	}
+}

@@ -1,0 +1,118 @@
+package netsim
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoListener accepts connections and echoes bytes back.
+func echoListener(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				io.Copy(conn, conn)
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestPartitionSeverHealDial(t *testing.T) {
+	addr := echoListener(t)
+	p := NewPartition()
+	dial := p.Dialer(nil)
+
+	conn, err := dial(addr, time.Second)
+	if err != nil {
+		t.Fatalf("dial through healed gate: %v", err)
+	}
+	if _, err := conn.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	p.Sever()
+	if !p.Down() {
+		t.Fatal("Down() false after Sever")
+	}
+	// New dials fail fast.
+	if _, err := dial(addr, time.Second); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("dial during partition: %v, want ErrPartitioned", err)
+	}
+	// The existing connection was killed: I/O fails promptly (either the
+	// sharpened ErrPartitioned or the closed-conn error).
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("read on severed connection succeeded")
+	}
+
+	p.Heal()
+	conn2, err := dial(addr, time.Second)
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	if _, err := conn2.Write([]byte("hi")); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+	conn2.Close()
+	// Closed conns are forgotten: severing now must not panic or double
+	// close, and tracking must not leak.
+	p.Sever()
+	p.mu.Lock()
+	n := len(p.conns)
+	p.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d connections still tracked after close+sever", n)
+	}
+}
+
+func TestPartitionScript(t *testing.T) {
+	p := NewPartition()
+	stop := p.RunScript([]PartitionStep{
+		{After: 20 * time.Millisecond, Down: true},
+		{After: time.Hour, Down: false},
+	})
+	defer stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for !p.Down() {
+		if time.Now().After(deadline) {
+			t.Fatal("script never severed at step 1")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for p.Down() {
+		if time.Now().After(deadline) {
+			t.Fatal("script never healed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPartitionScriptStop(t *testing.T) {
+	p := NewPartition()
+	stop := p.RunScript([]PartitionStep{{After: time.Hour, Down: true}})
+	done := make(chan struct{})
+	go func() { stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop() hung on a long step")
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"io"
 	"math"
 	"os"
+	"sync"
+	"time"
 
 	"bees/internal/features"
 	"bees/internal/index"
@@ -25,13 +27,26 @@ const snapshotVersion = 1
 // errBadSnapshot reports a corrupt or incompatible snapshot stream.
 var errBadSnapshot = errors.New("server: bad snapshot")
 
+// maxSnapshotDescriptors caps the per-entry descriptor count a snapshot
+// may announce, bounding decode-time allocation against corrupt streams.
+// Real extractions top out at a few hundred ORB descriptors per image.
+const maxSnapshotDescriptors = 1 << 16
+
 // SaveSnapshot serializes the server state (index entries + counters).
 func (s *Server) SaveSnapshot(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(snapshotMagic[:]); err != nil {
 		return fmt.Errorf("server: write snapshot: %w", err)
 	}
-	writeU64 := func(v uint64) { binary.Write(bw, binary.LittleEndian, v) }
+	// writeU64 captures the first write failure instead of discarding it:
+	// a full disk mid-stream must abort the save (and leave the temp file
+	// unrenamed), not silently commit a truncated snapshot.
+	var saveErr error
+	writeU64 := func(v uint64) {
+		if saveErr == nil {
+			saveErr = binary.Write(bw, binary.LittleEndian, v)
+		}
+	}
 	writeU64(snapshotVersion)
 
 	s.mu.Lock()
@@ -48,7 +63,6 @@ func (s *Server) SaveSnapshot(w io.Writer) error {
 	count := uint64(0)
 	s.idx.ForEach(func(*index.Entry) { count++ })
 	writeU64(count)
-	var saveErr error
 	s.idx.ForEach(func(e *index.Entry) {
 		if saveErr != nil {
 			return
@@ -64,9 +78,6 @@ func (s *Server) SaveSnapshot(w io.Writer) error {
 			}
 		}
 	})
-	if saveErr != nil {
-		return saveErr
-	}
 	// Upload history (IDs + metas without globals; globals only matter
 	// for metadata queries of indexed seeds, which reconstruct from the
 	// index on load).
@@ -79,6 +90,9 @@ func (s *Server) SaveSnapshot(w io.Writer) error {
 		writeU64(math.Float64bits(m.Lon))
 		writeU64(uint64(m.Bytes))
 	}
+	if saveErr != nil {
+		return fmt.Errorf("server: write snapshot: %w", saveErr)
+	}
 	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("server: flush snapshot: %w", err)
 	}
@@ -88,8 +102,12 @@ func (s *Server) SaveSnapshot(w io.Writer) error {
 // LoadSnapshot restores server state saved by SaveSnapshot into a fresh
 // server. Loading into a non-empty server returns an error.
 func (s *Server) LoadSnapshot(r io.Reader) error {
+	// Freshness covers the index too: a server that only holds seeded
+	// entries (SeedIndex bumps nextID, but a snapshot loaded on top of
+	// seeds would silently interleave IDs) must refuse a load just like
+	// one that has taken uploads.
 	s.mu.Lock()
-	dirty := len(s.uploads) > 0 || s.nextID != 0
+	dirty := len(s.uploads) > 0 || s.nextID != 0 || s.idx.Len() > 0
 	s.mu.Unlock()
 	if dirty {
 		return errors.New("server: LoadSnapshot requires a fresh server")
@@ -97,7 +115,7 @@ func (s *Server) LoadSnapshot(r io.Reader) error {
 	br := bufio.NewReader(r)
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return fmt.Errorf("server: read snapshot: %w", err)
+		return fmt.Errorf("%w: read magic: %v", errBadSnapshot, err)
 	}
 	if magic != snapshotMagic {
 		return errBadSnapshot
@@ -141,7 +159,7 @@ func (s *Server) LoadSnapshot(r io.Reader) error {
 			return errBadSnapshot
 		}
 		n, err := readU64()
-		if err != nil || n > 1<<20 {
+		if err != nil || n > maxSnapshotDescriptors {
 			return errBadSnapshot
 		}
 		set := &features.BinarySet{Descriptors: make([]features.Descriptor, n)}
@@ -223,6 +241,45 @@ func (s *Server) SaveSnapshotFile(path string) error {
 		return fmt.Errorf("server: commit snapshot: %w", err)
 	}
 	return nil
+}
+
+// AutoSave writes periodic snapshots to path until the returned stop
+// function is called (which takes one final snapshot so no tail of
+// uploads is lost on a clean shutdown). Failures are logged via logf and
+// retried next tick — a full disk now may be a writable disk later, and
+// SaveSnapshotFile's temp+rename never clobbers the last good snapshot
+// with a partial one.
+func (s *Server) AutoSave(path string, interval time.Duration, logf func(string, ...any)) (stop func()) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	closeCh := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-closeCh:
+				return
+			case <-t.C:
+				if err := s.SaveSnapshotFile(path); err != nil {
+					logf("autosave: %v", err)
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(closeCh)
+			<-done
+			if err := s.SaveSnapshotFile(path); err != nil {
+				logf("autosave (final): %v", err)
+			}
+		})
+	}
 }
 
 // LoadSnapshotFile restores a snapshot from disk; a missing file is not

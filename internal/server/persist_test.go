@@ -2,8 +2,13 @@ package server
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func TestSnapshotRoundTrip(t *testing.T) {
@@ -113,5 +118,132 @@ func TestSnapshotEmptyServer(t *testing.T) {
 	}
 	if restored.Stats().Images != 0 {
 		t.Fatal("empty snapshot should restore empty")
+	}
+}
+
+// failAfterWriter fails every write once n bytes have passed through,
+// simulating a disk that fills mid-snapshot.
+type failAfterWriter struct {
+	n       int
+	written int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.n {
+		return 0, errors.New("disk full")
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+// TestSaveSnapshotPropagatesWriteError is the regression test for the
+// swallowed writeU64 error: a writer that fails mid-stream must surface
+// the failure from SaveSnapshot, not silently produce a short snapshot.
+func TestSaveSnapshotPropagatesWriteError(t *testing.T) {
+	srv := NewDefault()
+	_, sets := batchSets(t, 313, 4)
+	// Enough descriptor payload to overflow bufio's 4 KiB buffer so the
+	// failure hits a mid-stream binary.Write, not just the final Flush.
+	for i := range sets {
+		srv.Upload(sets[i], UploadMeta{GroupID: int64(i), Bytes: 10})
+	}
+	var full bytes.Buffer
+	if err := srv.SaveSnapshot(&full); err != nil {
+		t.Fatal(err)
+	}
+	if full.Len() <= 4096 {
+		t.Fatalf("test snapshot too small (%d bytes) to exercise mid-stream writes", full.Len())
+	}
+	for _, limit := range []int{0, 10, 4096, full.Len() - 1} {
+		if err := srv.SaveSnapshot(&failAfterWriter{n: limit}); err == nil {
+			t.Fatalf("write failure after %d bytes was swallowed", limit)
+		}
+	}
+}
+
+// handcraftedSnapshot builds a minimal valid snapshot whose counters are
+// all zero but which carries one index entry — the state the freshness
+// check used to miss.
+func handcraftedSnapshot(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.Write([]byte("BEES"))
+	w := func(v uint64) { binary.Write(&buf, binary.LittleEndian, v) }
+	w(1) // version
+	w(0) // received
+	w(0) // nextID
+	w(1) // one index entry
+	w(7) // id
+	w(3) // group
+	w(math.Float64bits(1.5))
+	w(math.Float64bits(-2.5))
+	w(1) // one descriptor
+	for i := 0; i < 4; i++ {
+		w(uint64(i))
+	}
+	w(0) // no uploads
+	return buf.Bytes()
+}
+
+// TestLoadSnapshotFreshnessIncludesIndex is the regression test for the
+// freshness check ignoring index entries: loading a snapshot twice into
+// the same server must fail the second time even when the snapshot
+// carries no uploads and a zero nextID.
+func TestLoadSnapshotFreshnessIncludesIndex(t *testing.T) {
+	snap := handcraftedSnapshot(t)
+	srv := NewDefault()
+	if err := srv.LoadSnapshot(bytes.NewReader(snap)); err != nil {
+		t.Fatalf("first load: %v", err)
+	}
+	if err := srv.LoadSnapshot(bytes.NewReader(snap)); err == nil {
+		t.Fatal("second load into the now-populated server was accepted")
+	}
+}
+
+// TestLoadSnapshotErrorsWrapBadSnapshot pins the error contract the
+// fuzzer relies on: every decode failure is errBadSnapshot.
+func TestLoadSnapshotErrorsWrapBadSnapshot(t *testing.T) {
+	valid := handcraftedSnapshot(t)
+	cases := [][]byte{
+		nil,
+		[]byte("XX"),
+		[]byte("XXXX"),
+		valid[:7],             // truncated version
+		valid[:len(valid)/2],  // truncated mid-entry
+		append([]byte{}, 'B'), // one magic byte
+	}
+	for _, data := range cases {
+		srv := NewDefault()
+		err := srv.LoadSnapshot(bytes.NewReader(data))
+		if !errors.Is(err, errBadSnapshot) {
+			t.Fatalf("load(%d bytes): err = %v, want errBadSnapshot", len(data), err)
+		}
+	}
+}
+
+func TestAutoSave(t *testing.T) {
+	srv := NewDefault()
+	_, sets := batchSets(t, 314, 1)
+	srv.Upload(sets[0], UploadMeta{GroupID: 1, Bytes: 10})
+	path := filepath.Join(t.TempDir(), "auto.bees")
+	stop := srv.AutoSave(path, 10*time.Millisecond, t.Logf)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(path); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("autosave never wrote a snapshot")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	restored := NewDefault()
+	if err := restored.LoadSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Stats().Images != 1 {
+		t.Fatal("autosaved snapshot lost state")
 	}
 }

@@ -8,7 +8,7 @@ import (
 	"bees/internal/features"
 )
 
-func batchSets(t *testing.T, seed int64, n int) (*dataset.DisasterBatch, []*features.BinarySet) {
+func batchSets(t testing.TB, seed int64, n int) (*dataset.DisasterBatch, []*features.BinarySet) {
 	t.Helper()
 	d := dataset.NewDisasterBatch(seed, n, 0, 0)
 	cfg := features.DefaultConfig()

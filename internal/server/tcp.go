@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bees/internal/telemetry"
@@ -29,6 +31,21 @@ type TCPConfig struct {
 	// DedupWindow is how many recent upload nonces are remembered for
 	// retry deduplication. Default 4096.
 	DedupWindow int
+	// MaxInflightFrames is the load-shedding high-water mark: when at
+	// least this many query/upload frames are already being processed,
+	// a newly arriving one is answered with wire.BusyResponse instead of
+	// being handled. Default 256.
+	MaxInflightFrames int
+	// MaxInflightBytes sheds on announced payload volume rather than
+	// frame count: when the payload bytes of in-flight query/upload
+	// frames already meet this mark, new work is refused. The announced
+	// size is charged before the payload is read, so a flood of large
+	// frames trips the breaker while the bytes are still in flight.
+	// Default 64 MiB.
+	MaxInflightBytes int64
+	// BusyRetryAfter is the pacing hint carried in BusyResponse; clients
+	// hold uploads that long before retrying. Default 1s.
+	BusyRetryAfter time.Duration
 	// Telemetry receives the server's wire counters (frames by type,
 	// dedup hits, accepted/rejected connections, upload bytes). Nil
 	// disables instrumentation; beesd passes the registry its
@@ -49,6 +66,15 @@ func (c TCPConfig) withDefaults() TCPConfig {
 	if c.DedupWindow <= 0 {
 		c.DedupWindow = 4096
 	}
+	if c.MaxInflightFrames <= 0 {
+		c.MaxInflightFrames = 256
+	}
+	if c.MaxInflightBytes <= 0 {
+		c.MaxInflightBytes = 64 << 20
+	}
+	if c.BusyRetryAfter <= 0 {
+		c.BusyRetryAfter = time.Second
+	}
 	return c
 }
 
@@ -66,6 +92,13 @@ type TCPServer struct {
 
 	dedup *uploadDedup
 	tel   *telemetry.Registry
+
+	// Load-shedding accounting: query/upload frames currently being read
+	// or handled, and the payload bytes they announced. Charged from the
+	// frame header — before the payload is read — so overload is visible
+	// while the bytes are still crossing the slow link.
+	inflightFrames atomic.Int64
+	inflightBytes  atomic.Int64
 
 	// clientTel accumulates telemetry snapshots pushed by clients
 	// (wire.TelemetryPush) so beesd's /debug endpoint can expose the
@@ -147,15 +180,84 @@ func (t *TCPServer) serveConn(conn net.Conn) {
 		if err := conn.SetReadDeadline(time.Now().Add(t.cfg.IdleTimeout)); err != nil {
 			return
 		}
-		msg, err := wire.ReadFrame(conn)
+		typ, n, err := wire.ReadHeader(conn)
 		if err != nil {
 			return // EOF, timeout, or broken peer; drop the connection
 		}
-		if err := t.handle(conn, msg); err != nil {
-			log.Printf("beesd: connection error: %v", err)
+		if !sheddable(typ) {
+			if err := t.readAndHandle(conn, typ, n); err != nil {
+				return
+			}
+			continue
+		}
+		// Admission control: charge the announced load, then shed if the
+		// *pre-existing* load already met a high-water mark — a frame never
+		// sheds itself, so a lone client on an idle server always gets in.
+		prevFrames := t.inflightFrames.Add(1) - 1
+		prevBytes := t.inflightBytes.Add(int64(n)) - int64(n)
+		if prevFrames >= int64(t.cfg.MaxInflightFrames) || prevBytes >= t.cfg.MaxInflightBytes {
+			err := t.shed(conn, n)
+			t.inflightFrames.Add(-1)
+			t.inflightBytes.Add(int64(-n))
+			if err != nil {
+				return
+			}
+			continue
+		}
+		err = t.readAndHandle(conn, typ, n)
+		t.inflightFrames.Add(-1)
+		t.inflightBytes.Add(int64(-n))
+		if err != nil {
 			return
 		}
 	}
+}
+
+// sheddable reports whether a frame type participates in load shedding.
+// Only the work-carrying requests do: stats, telemetry pushes, and
+// responses stay cheap and must keep flowing so operators can observe an
+// overloaded server.
+func sheddable(typ wire.MsgType) bool {
+	switch typ {
+	case wire.MsgQueryRequest, wire.MsgUploadRequest, wire.MsgUploadBatchRequest:
+		return true
+	}
+	return false
+}
+
+// shed refuses an admitted frame: the payload is drained (the peer has
+// already committed it to the socket) and the connection answered with
+// the retry-after hint. The request is NOT applied, so a client may
+// resend the identical frame — same nonce included — after the hint.
+func (t *TCPServer) shed(conn net.Conn, payloadLen int) error {
+	if _, err := io.CopyN(io.Discard, conn, int64(payloadLen)); err != nil {
+		return err
+	}
+	t.tel.Counter("server.frames.busy").Inc()
+	if err := conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout)); err != nil {
+		return err
+	}
+	return wire.WriteFrame(conn, &wire.BusyResponse{
+		RetryAfterMs: uint32(t.cfg.BusyRetryAfter / time.Millisecond),
+	})
+}
+
+// readAndHandle completes an admitted frame: payload read, decode,
+// dispatch. Errors drop the connection (the caller returns).
+func (t *TCPServer) readAndHandle(conn net.Conn, typ wire.MsgType, payloadLen int) error {
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		return err
+	}
+	msg, err := wire.DecodePayload(typ, payload)
+	if err != nil {
+		return err
+	}
+	if err := t.handle(conn, msg); err != nil {
+		log.Printf("beesd: connection error: %v", err)
+		return err
+	}
+	return nil
 }
 
 func (t *TCPServer) handle(conn net.Conn, msg any) error {

@@ -1,10 +1,13 @@
 package server
 
 import (
+	"bytes"
 	"net"
 	"testing"
 	"time"
 
+	"bees/internal/features"
+	"bees/internal/telemetry"
 	"bees/internal/wire"
 )
 
@@ -205,5 +208,124 @@ func TestDedupWindowBounded(t *testing.T) {
 		if ids, ok := d.lookup(n); !ok || len(ids) != 1 || ids[0] != int64(n) {
 			t.Fatalf("nonce %d lost from the window", n)
 		}
+	}
+}
+
+// busyFrame encodes msg and returns (header, payload) split at the wire
+// header boundary, so tests can stall a server mid-payload.
+func splitFrame(t *testing.T, msg any) (header, payload []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := wire.WriteFrame(&buf, msg); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	return full[:5], full[5:]
+}
+
+// TestLoadSheddingBusy drives the server over its in-flight byte
+// high-water mark and checks the overflow frame is answered with
+// BusyResponse within one frame time — while the stalled frame that
+// caused the overload still completes, and the shed client's retry
+// succeeds once the load clears.
+func TestLoadSheddingBusy(t *testing.T) {
+	tel := telemetry.NewRegistry()
+	srv, _, addr := listenTCP(t, TCPConfig{
+		MaxInflightBytes: 1024,
+		BusyRetryAfter:   250 * time.Millisecond,
+		IdleTimeout:      5 * time.Second,
+		Telemetry:        tel,
+	})
+
+	// Connection A announces a large upload but stalls after the header:
+	// its announced bytes are now in flight, holding the server above the
+	// 1 KiB high-water mark.
+	big := &wire.UploadRequest{Nonce: 1, GroupID: 1, Blob: make([]byte, 4096)}
+	header, payload := splitFrame(t, big)
+	connA := dialRaw(t, addr)
+	if _, err := connA.Write(header); err != nil {
+		t.Fatal(err)
+	}
+	// Give the server a moment to charge A's header.
+	deadline := time.Now().Add(2 * time.Second)
+	connB := dialRaw(t, addr)
+	var busy *wire.BusyResponse
+	for {
+		resp := request(t, connB, &wire.UploadRequest{Nonce: 2, GroupID: 2, Blob: []byte("x")})
+		if b, ok := resp.(*wire.BusyResponse); ok {
+			busy = b
+			break
+		}
+		// A's header may not have landed yet; the request was applied, so
+		// retry with the same nonce until shedding kicks in.
+		if time.Now().After(deadline) {
+			t.Fatal("server never shed load while 4 KiB was in flight")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if busy.RetryAfterMs != 250 {
+		t.Fatalf("RetryAfterMs = %d, want 250", busy.RetryAfterMs)
+	}
+	// Observability traffic must NOT be shed while overloaded.
+	if _, ok := request(t, connB, &wire.StatsRequest{}).(*wire.StatsResponse); !ok {
+		t.Fatal("stats request shed during overload")
+	}
+	if got := tel.Snapshot().Counters["server.frames.busy"]; got < 1 {
+		t.Fatalf("server.frames.busy = %d, want >= 1", got)
+	}
+
+	// The stalled upload itself was admitted and must still complete.
+	if _, err := connA.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	connA.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := wire.ReadFrame(connA); err != nil {
+		t.Fatalf("admitted upload did not complete: %v", err)
+	}
+
+	// Load cleared: the shed client retries the identical frame (same
+	// nonce) and is applied exactly once.
+	resp := request(t, connB, &wire.UploadRequest{Nonce: 2, GroupID: 2, Blob: []byte("x")})
+	if _, ok := resp.(*wire.UploadResponse); !ok {
+		t.Fatalf("retry after busy got %T", resp)
+	}
+	if got := srv.Stats().Images; got != 2 {
+		t.Fatalf("server holds %d images, want 2 (one per client)", got)
+	}
+}
+
+// TestLoadSheddingFrameCount pins the frame-count high-water mark using
+// a stalled query (1 admitted frame, limit 1): the next request sheds.
+func TestLoadSheddingFrameCount(t *testing.T) {
+	_, _, addr := listenTCP(t, TCPConfig{
+		MaxInflightFrames: 1,
+		IdleTimeout:       5 * time.Second,
+	})
+	header, payload := splitFrame(t, &wire.QueryRequest{Sets: []*features.BinarySet{{
+		Descriptors: make([]features.Descriptor, 4),
+	}}})
+	connA := dialRaw(t, addr)
+	if _, err := connA.Write(header); err != nil {
+		t.Fatal(err)
+	}
+	connB := dialRaw(t, addr)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp := request(t, connB, &wire.UploadRequest{Nonce: 9, Blob: []byte("y")})
+		if _, ok := resp.(*wire.BusyResponse); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("frame-count mark never shed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// A lone frame on an idle server never sheds itself: complete A.
+	if _, err := connA.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	connA.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := wire.ReadFrame(connA); err != nil {
+		t.Fatalf("stalled query did not complete: %v", err)
 	}
 }

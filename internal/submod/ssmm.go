@@ -31,6 +31,12 @@ func DefaultOptions() Options {
 type Result struct {
 	// Selected is the retained unique-image subset, in selection order.
 	Selected []int
+	// Gains holds the marginal gain F(S ∪ {v}) − F(S) each selected
+	// element contributed at the moment greedy picked it, aligned with
+	// Selected. Greedy picks highest-gain first, so Gains is
+	// non-increasing — it is the per-image submodular utility consumers
+	// like the upload outbox use to decide what to evict first.
+	Gains []float64
 	// Budget is the b that constrained the selection.
 	Budget int
 	// Clusters is the threshold partition of the batch.
@@ -60,8 +66,18 @@ func Summarize(g *Graph, tw float64, opts Options) Result {
 	} else {
 		selected = Greedy(obj, budget)
 	}
+	// Replay the selection to recover each element's marginal gain at
+	// pick time (O(b·n), cheap next to the selection itself). The sum of
+	// gains telescopes to F(Selected).
+	gains := make([]float64, len(selected))
+	st := NewState(obj)
+	for i, v := range selected {
+		gains[i] = st.Gain(v)
+		st.Add(v)
+	}
 	return Result{
 		Selected:  selected,
+		Gains:     gains,
 		Budget:    budget,
 		Clusters:  clusters,
 		Objective: obj.Value(selected),

@@ -32,6 +32,7 @@ func FuzzReadFrame(f *testing.F) {
 		&StatsRequest{},
 		&StatsResponse{Images: 3, BytesReceived: 12345},
 		&ErrorResponse{Message: "boom"},
+		&BusyResponse{RetryAfterMs: 250},
 	}
 	for _, msg := range seeds {
 		f.Add(encodeFrame(f, msg))

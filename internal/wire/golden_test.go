@@ -59,6 +59,7 @@ func goldenFrames() []struct {
 			},
 		}},
 		{"upload_batch_response", &UploadBatchResponse{IDs: []int64{7, -1, 8}}},
+		{"busy_response", &BusyResponse{RetryAfterMs: 1500}},
 	}
 }
 

@@ -21,6 +21,13 @@
 // server-side: the server replays the original UploadResponse instead of
 // storing the image twice. Nonce 0 means "no retry protection".
 //
+// Overload: a server past its high-water mark may answer any query or
+// upload with BusyResponse instead of processing it. Busy carries a
+// retry-after hint; the client holds further requests until it expires
+// without spending retry budget (the transport worked — the server shed
+// load on purpose). A request answered Busy was not applied, so resending
+// it (same nonce) later is safe.
+//
 // Batch-first path: QueryRequest has always carried a whole batch of
 // feature sets (one CBRD round trip per batch); UploadBatchRequest is
 // the AIU counterpart, carrying a window of images under a single nonce
@@ -55,6 +62,7 @@ const (
 	MsgTelemetryAck
 	MsgUploadBatchRequest
 	MsgUploadBatchResponse
+	MsgBusy
 )
 
 // MaxFrameBytes bounds a frame to keep a malformed peer from forcing a
@@ -129,6 +137,18 @@ type UploadBatchResponse struct {
 	IDs []int64
 }
 
+// BusyResponse is the server's load-shedding answer: instead of queueing
+// a request behind an overloaded handler (and stalling every connection),
+// the server answers immediately and tells the client when to come back.
+// It is a valid response to any shedable request (queries and uploads).
+// A busy answer carries no result and must not consume the client's
+// retry budget — the transport worked; the server made a policy decision.
+type BusyResponse struct {
+	// RetryAfterMs is how long the client should hold further requests
+	// before probing again, in milliseconds.
+	RetryAfterMs uint32
+}
+
 // StatsRequest asks for server counters.
 type StatsRequest struct{}
 
@@ -185,6 +205,8 @@ func WriteFrame(w io.Writer, msg any) error {
 		typ, payload = MsgUploadBatchRequest, encodeUploadBatchRequest(m)
 	case *UploadBatchResponse:
 		typ, payload = MsgUploadBatchResponse, encodeUploadBatchResponse(m)
+	case *BusyResponse:
+		typ, payload = MsgBusy, binary.LittleEndian.AppendUint32(nil, m.RetryAfterMs)
 	default:
 		return fmt.Errorf("%w: %T", ErrUnencodable, msg)
 	}
@@ -204,19 +226,36 @@ func WriteFrame(w io.Writer, msg any) error {
 
 // ReadFrame reads one frame and decodes its message.
 func ReadFrame(r io.Reader) (any, error) {
-	header := make([]byte, 5)
-	if _, err := io.ReadFull(r, header); err != nil {
+	typ, n, err := ReadHeader(r)
+	if err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(header)
-	if n > MaxFrameBytes {
-		return nil, ErrFrameTooLarge
-	}
-	typ := MsgType(header[4])
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, fmt.Errorf("wire: read payload: %w", err)
 	}
+	return DecodePayload(typ, payload)
+}
+
+// ReadHeader reads and validates one frame header, returning the message
+// type and the announced payload length. Splitting the header read from
+// the payload read lets a receiver make admission decisions (load
+// shedding, byte accounting) before committing to read — or decode — the
+// payload.
+func ReadHeader(r io.Reader) (MsgType, int, error) {
+	header := make([]byte, 5)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return 0, 0, err
+	}
+	n := binary.LittleEndian.Uint32(header)
+	if n > MaxFrameBytes {
+		return 0, 0, ErrFrameTooLarge
+	}
+	return MsgType(header[4]), int(n), nil
+}
+
+// DecodePayload decodes one frame payload of the given type.
+func DecodePayload(typ MsgType, payload []byte) (any, error) {
 	switch typ {
 	case MsgQueryRequest:
 		return decodeQueryRequest(payload)
@@ -252,6 +291,11 @@ func ReadFrame(r io.Reader) (any, error) {
 		return decodeUploadBatchRequest(payload)
 	case MsgUploadBatchResponse:
 		return decodeUploadBatchResponse(payload)
+	case MsgBusy:
+		if len(payload) != 4 {
+			return nil, errors.New("wire: bad busy response")
+		}
+		return &BusyResponse{RetryAfterMs: binary.LittleEndian.Uint32(payload)}, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", typ)
 	}

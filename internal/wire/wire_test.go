@@ -105,6 +105,17 @@ func TestUploadResponseRoundTrip(t *testing.T) {
 	}
 }
 
+func TestBusyResponseRoundTrip(t *testing.T) {
+	got := roundTrip(t, &BusyResponse{RetryAfterMs: 2500}).(*BusyResponse)
+	if got.RetryAfterMs != 2500 {
+		t.Fatalf("RetryAfterMs = %d", got.RetryAfterMs)
+	}
+	// Truncated payloads must be rejected, not misread.
+	if _, err := DecodePayload(MsgBusy, []byte{1, 2}); err == nil {
+		t.Fatal("truncated busy payload accepted")
+	}
+}
+
 func TestStatsRoundTrip(t *testing.T) {
 	if _, ok := roundTrip(t, &StatsRequest{}).(*StatsRequest); !ok {
 		t.Fatal("stats request corrupted")
