@@ -6,9 +6,22 @@
 
 GO ?= go
 
-.PHONY: all build tier1 tier2 fuzz bench
+.PHONY: all help build tier1 tier2 fuzz bench benchdiff cover
 
 all: tier1
+
+# `make help` lists the verification entry points; `make cover` enforces
+# a coverage floor on internal/features (the matching kernels), and
+# `make benchdiff OLD=old.json` gates matcher benchmarks against a saved
+# BENCH_pipeline.json baseline (see DESIGN.md, "Exact sub-linear
+# matching", for the save-baseline/compare workflow).
+help:
+	@echo "make tier1      - build + vet cmd/examples + full test suite (the PR gate)"
+	@echo "make tier2      - fuzz burst, vet everything, race-detector run"
+	@echo "make fuzz       - FUZZTIME (default 10s) on each fuzz target"
+	@echo "make bench      - micro-benchmarks -> BENCH_pipeline.json"
+	@echo "make benchdiff  - compare matcher benches: OLD=old.json [NEW=BENCH_pipeline.json]"
+	@echo "make cover      - per-package coverage; fails if internal/features < $(COVER_FLOOR_FEATURES)%"
 
 build:
 	$(GO) build ./...
@@ -39,6 +52,7 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzReadFrame -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/server -run '^$$' -fuzz FuzzLoadSnapshot -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/features -run '^$$' -fuzz FuzzMatchBinary -fuzztime $(FUZZTIME)
 
 # Index + pipeline micro-benchmarks with allocation stats, written as
 # BENCH_pipeline.json. The raw `go test -bench` text is embedded under
@@ -51,7 +65,33 @@ fuzz:
 # partial stream into bench2json.
 bench:
 	@set -e; tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
-	  $(GO) test ./internal/index -run '^$$' -bench . -benchmem > "$$tmp"; \
-	  $(GO) test ./internal/core -run '^$$' -bench . -benchmem -benchtime 3x >> "$$tmp"; \
+	  $(GO) test ./internal/features -run '^$$' -bench 'Match|Jaccard|Prepare|Hamming' -benchmem > "$$tmp"; \
+	  $(GO) test ./internal/index -run '^$$' -bench . -benchmem >> "$$tmp"; \
+	  $(GO) test ./internal/core -run '^$$' -bench . -benchmem -benchtime 5x >> "$$tmp"; \
 	  $(GO) run ./cmd/bench2json < "$$tmp" > BENCH_pipeline.json
 	@echo "wrote BENCH_pipeline.json"
+
+# Matcher-benchmark regression gate. Save a baseline before a kernel
+# change (cp BENCH_pipeline.json old.json), re-run `make bench` after
+# it, then `make benchdiff OLD=old.json`: any gated benchmark (Match /
+# Jaccard / Prepare / BatchGraph / QueryMax) more than 15% slower in
+# ns/op fails the target.
+NEW ?= BENCH_pipeline.json
+benchdiff:
+	@test -n "$(OLD)" || { echo "usage: make benchdiff OLD=old.json [NEW=new.json]"; exit 2; }
+	$(GO) run ./cmd/bench2json -compare $(OLD) $(NEW)
+
+# Per-package coverage summary with a floor on the matching kernels:
+# internal/features holds the exact sub-linear matcher and its oracle,
+# so its differential/property/fuzz-seed suites must keep covering it.
+# The floor sits a few points under the measured post-kernel line (94.6%)
+# to absorb counting drift without letting real erosion through.
+COVER_FLOOR_FEATURES ?= 91
+cover:
+	@set -e; out=$$($(GO) test -cover ./... ) || { echo "$$out"; exit 1; }; \
+	  echo "$$out"; \
+	  pct=$$(echo "$$out" | awk '$$2 == "bees/internal/features" { for (i=1;i<=NF;i++) if ($$i ~ /^[0-9.]+%$$/) { sub(/%/,"",$$i); print $$i } }'); \
+	  test -n "$$pct" || { echo "cover: no coverage line for internal/features"; exit 1; }; \
+	  awk -v p="$$pct" -v f="$(COVER_FLOOR_FEATURES)" 'BEGIN { exit (p+0 < f+0) ? 1 : 0 }' || \
+	    { echo "cover: internal/features at $$pct% is below the $(COVER_FLOOR_FEATURES)% floor"; exit 1; }; \
+	  echo "cover: internal/features at $$pct% (floor $(COVER_FLOOR_FEATURES)%)"

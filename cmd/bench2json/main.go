@@ -9,14 +9,26 @@
 //
 // while the "benchmarks" array carries the parsed per-benchmark metrics
 // (runs, ns/op, B/op, allocs/op, MB/s) for direct programmatic use.
+//
+// With -compare it instead diffs two such documents and gates on matcher
+// regressions:
+//
+//	bench2json -compare old.json new.json
+//
+// prints a per-benchmark delta for every benchmark whose name matches
+// -match (default: the matcher/kernel benchmarks) and exits nonzero if
+// any of them slowed down by more than -threshold (default 0.15, i.e.
+// 15% ns/op). `make benchdiff` wraps this.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -39,18 +51,120 @@ type document struct {
 	Raw        string      `json:"raw"`
 }
 
+// defaultMatch selects the matcher-kernel benchmarks the compare gate
+// watches: the prepared/reference pairs in features, core, and index.
+const defaultMatch = `Match|Jaccard|Prepare|BatchGraph|QueryMax`
+
 func main() {
+	compare := flag.Bool("compare", false,
+		"compare two bench JSON files (old new) instead of converting stdin")
+	match := flag.String("match", defaultMatch,
+		"regexp of benchmark names the -compare gate applies to")
+	threshold := flag.Float64("threshold", 0.15,
+		"fractional ns/op slowdown tolerated by -compare before failing")
+	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: bench2json -compare [-match re] [-threshold f] old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *match, *threshold, os.Stdout))
+	}
 	doc, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench2json:", err)
 		os.Exit(1)
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
+	data, err := marshalDocument(doc)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench2json:", err)
 		os.Exit(1)
 	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+func marshalDocument(doc *document) ([]byte, error) {
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+func loadDocument(path string) (*document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+func runCompare(oldPath, newPath, match string, threshold float64, w io.Writer) int {
+	oldDoc, err := loadDocument(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		return 1
+	}
+	newDoc, err := loadDocument(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		return 1
+	}
+	re, err := regexp.Compile(match)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json: bad -match:", err)
+		return 2
+	}
+	regressions := compareDocs(oldDoc, newDoc, re, threshold, w)
+	if regressions > 0 {
+		fmt.Fprintf(w, "FAIL: %d matcher benchmark(s) regressed more than %.0f%%\n",
+			regressions, threshold*100)
+		return 1
+	}
+	fmt.Fprintln(w, "ok: no matcher benchmark regressed past the threshold")
+	return 0
+}
+
+// compareDocs prints a delta line per gated benchmark present in both
+// documents and returns how many regressed past the threshold.
+// Benchmarks present on only one side are reported but never fail the
+// gate — renames and additions are not regressions.
+func compareDocs(oldDoc, newDoc *document, re *regexp.Regexp, threshold float64, w io.Writer) int {
+	oldBy := make(map[string]benchmark, len(oldDoc.Benchmarks))
+	for _, b := range oldDoc.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	regressions := 0
+	seen := make(map[string]bool, len(newDoc.Benchmarks))
+	for _, nb := range newDoc.Benchmarks {
+		if !re.MatchString(nb.Name) {
+			continue
+		}
+		seen[nb.Name] = true
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Fprintf(w, "new  %-44s %12.0f ns/op (no baseline)\n", nb.Name, nb.NsPerOp)
+			continue
+		}
+		if ob.NsPerOp <= 0 {
+			continue
+		}
+		delta := (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp
+		verdict := "ok  "
+		if delta > threshold {
+			verdict = "FAIL"
+			regressions++
+		}
+		fmt.Fprintf(w, "%s %-44s %12.0f -> %12.0f ns/op  %+6.1f%%\n",
+			verdict, nb.Name, ob.NsPerOp, nb.NsPerOp, delta*100)
+	}
+	for _, ob := range oldDoc.Benchmarks {
+		if re.MatchString(ob.Name) && !seen[ob.Name] {
+			fmt.Fprintf(w, "gone %-44s (in baseline only)\n", ob.Name)
+		}
+	}
+	return regressions
 }
 
 func parse(r io.Reader) (*document, error) {

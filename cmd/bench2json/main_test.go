@@ -1,0 +1,125 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: bees/internal/index
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkQueryMaxLSH-8   	    1000	   1048576 ns/op
+BenchmarkAdd-8           	     500	   2097152 ns/op	 2048 B/op	      12 allocs/op
+PASS
+ok  	bees/internal/index	3.1s
+`
+	doc, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" {
+		t.Fatalf("platform = %q/%q", doc.Goos, doc.Goarch)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[1]
+	if b.Name != "BenchmarkAdd-8" || b.NsPerOp != 2097152 || b.BytesPerOp != 2048 || b.AllocsPerOp != 12 {
+		t.Fatalf("bad parse: %+v", b)
+	}
+	if doc.Raw != in {
+		t.Fatal("raw text not preserved verbatim")
+	}
+}
+
+func docOf(pairs map[string]float64) *document {
+	d := &document{}
+	for name, ns := range pairs {
+		d.Benchmarks = append(d.Benchmarks, benchmark{Name: name, Runs: 1, NsPerOp: ns})
+	}
+	return d
+}
+
+func TestCompareDocsGate(t *testing.T) {
+	re := regexp.MustCompile(defaultMatch)
+	oldDoc := docOf(map[string]float64{
+		"BenchmarkMatchBinaryPrepared-8": 100,
+		"BenchmarkBuildBatchGraph-8":     1000,
+		"BenchmarkExtractORB-8":          5000, // not gated
+	})
+	t.Run("within threshold passes", func(t *testing.T) {
+		newDoc := docOf(map[string]float64{
+			"BenchmarkMatchBinaryPrepared-8": 110, // +10%
+			"BenchmarkBuildBatchGraph-8":     900, // improvement
+			"BenchmarkExtractORB-8":          9000,
+		})
+		var out strings.Builder
+		if n := compareDocs(oldDoc, newDoc, re, 0.15, &out); n != 0 {
+			t.Fatalf("regressions = %d, want 0\n%s", n, out.String())
+		}
+		if strings.Contains(out.String(), "ExtractORB") {
+			t.Fatal("ungated benchmark leaked into the report")
+		}
+	})
+	t.Run("past threshold fails", func(t *testing.T) {
+		newDoc := docOf(map[string]float64{
+			"BenchmarkMatchBinaryPrepared-8": 120, // +20%
+			"BenchmarkBuildBatchGraph-8":     1000,
+		})
+		var out strings.Builder
+		if n := compareDocs(oldDoc, newDoc, re, 0.15, &out); n != 1 {
+			t.Fatalf("regressions = %d, want 1\n%s", n, out.String())
+		}
+		if !strings.Contains(out.String(), "FAIL BenchmarkMatchBinaryPrepared-8") {
+			t.Fatalf("missing FAIL line:\n%s", out.String())
+		}
+	})
+	t.Run("additions and removals never fail", func(t *testing.T) {
+		newDoc := docOf(map[string]float64{
+			"BenchmarkMatchBinaryPrepared-8": 100,
+			"BenchmarkJaccardBinary-8":       50, // new
+			// BuildBatchGraph gone
+		})
+		var out strings.Builder
+		if n := compareDocs(oldDoc, newDoc, re, 0.15, &out); n != 0 {
+			t.Fatalf("regressions = %d, want 0\n%s", n, out.String())
+		}
+		if !strings.Contains(out.String(), "no baseline") || !strings.Contains(out.String(), "in baseline only") {
+			t.Fatalf("missing add/remove notes:\n%s", out.String())
+		}
+	})
+}
+
+func TestRunCompareRoundTrip(t *testing.T) {
+	// End to end through the JSON files the convert mode writes.
+	dir := t.TempDir()
+	write := func(name, benchText string) string {
+		doc, err := parse(strings.NewReader(benchText))
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		data, err := marshalDocument(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := write("old.json", "BenchmarkMatchBinaryPrepared-8 100 1000 ns/op\n")
+	newPath := write("new.json", "BenchmarkMatchBinaryPrepared-8 100 2000 ns/op\n")
+	var out strings.Builder
+	if code := runCompare(oldPath, newPath, defaultMatch, 0.15, &out); code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s", code, out.String())
+	}
+	if code := runCompare(oldPath, oldPath, defaultMatch, 0.15, &out); code != 0 {
+		t.Fatalf("self-compare exit code = %d, want 0\n%s", code, out.String())
+	}
+}

@@ -42,10 +42,12 @@ func extractOne(img *dataset.Image, bitmapC float64, cfg features.Config) *featu
 // the standalone summarizer stay consistent as knobs change.
 func BuildBatchGraph(sets []*features.BinarySet, survivors []int, cap, hammingMax int) *submod.Graph {
 	g := submod.NewGraph(len(survivors))
-	capped := make([]*features.BinarySet, len(survivors))
-	for i, si := range survivors {
-		capped[i] = capSet(sets[si], cap)
-	}
+	// Prepare each capped set once (in parallel); the O(n²) cell loop then
+	// reuses the tables across all n-1 comparisons each set participates in.
+	capped := make([]*features.PreparedBinarySet, len(survivors))
+	ForEachIndex(len(survivors), func(i int) {
+		capped[i] = capSet(sets[survivors[i]], cap).Prepare()
+	})
 	// Row a has n-1-a cells, so handing out single rows leaves the worker
 	// stuck with the early rows doing almost all the work. Pair row a with
 	// row n-1-a instead: every unit costs (n-1-a) + a = n-1 cells, and an
@@ -62,7 +64,7 @@ func BuildBatchGraph(sets []*features.BinarySet, survivors []int, cap, hammingMa
 		for b := a + 1; b < n; b++ {
 			// Each (a, b) cell is written by exactly one goroutine;
 			// SetWeight touches only W[a][b]/W[b][a].
-			g.SetWeight(a, b, features.JaccardBinary(capped[a], capped[b], hammingMax))
+			g.SetWeight(a, b, features.JaccardPrepared(capped[a], capped[b], hammingMax))
 		}
 	}
 	for w := 0; w < workers; w++ {

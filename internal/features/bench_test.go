@@ -70,6 +70,45 @@ func BenchmarkJaccardBinary(b *testing.B) {
 	}
 }
 
+// BenchmarkMatchBinaryRef is the brute-force baseline the prepared-kernel
+// benchmarks are measured against (same extracted pair, same radius).
+func BenchmarkMatchBinaryRef(b *testing.B) {
+	ref, similar, _ := testImages(901)
+	cfg := DefaultConfig()
+	sa := ExtractORB(ref, cfg)
+	sb := ExtractORB(similar, cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatchBinaryRef(sa, sb, DefaultHammingMax)
+	}
+}
+
+// BenchmarkMatchBinaryPrepared measures the steady-state cost of one set
+// pair through the sub-linear kernel, tables built once outside the loop
+// — the regime every batch-graph cell and index re-rank runs in.
+func BenchmarkMatchBinaryPrepared(b *testing.B) {
+	ref, similar, _ := testImages(901)
+	cfg := DefaultConfig()
+	pa := ExtractORB(ref, cfg).Prepare()
+	pb := ExtractORB(similar, cfg).Prepare()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatchPrepared(pa, pb, DefaultHammingMax)
+	}
+}
+
+// BenchmarkPrepare measures the one-time table build a set pays before
+// entering any number of prepared comparisons.
+func BenchmarkPrepare(b *testing.B) {
+	ref, _, _ := testImages(901)
+	sa := ExtractORB(ref, DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sa.Prepare()
+	}
+}
+
 func BenchmarkHamming(b *testing.B) {
 	var d1, d2 Descriptor
 	d1[0], d2[3] = 0xdeadbeef, 0xfeedface

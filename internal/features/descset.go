@@ -20,7 +20,39 @@ const DefaultRatio = 0.8
 // i's nearest neighbor, i is j's nearest neighbor, and their distance is
 // at most hammingMax. Cross-checking makes the matching symmetric and
 // suppresses generic matches between unrelated images.
+//
+// The work is done by the sub-linear kernel in prepared.go; callers that
+// compare one set against many should Prepare each set once and use
+// MatchPrepared/JaccardPrepared to amortize the table build.
 func MatchBinary(a, b *BinarySet, hammingMax int) int {
+	if a.Len() == 0 || b.Len() == 0 {
+		return 0
+	}
+	return MatchPrepared(a.Prepare(), b.Prepare(), hammingMax)
+}
+
+// MatchBinaryRef is the brute-force O(n·m) reference matcher. It is the
+// oracle the differential/property/fuzz suites pin the fast kernel
+// against, and the baseline the bench suites measure speedups from; it is
+// not used on any production path.
+func MatchBinaryRef(a, b *BinarySet, hammingMax int) int {
+	return matchBinaryRef(a, b, hammingMax)
+}
+
+// JaccardBinaryRef computes Equation 2 with the brute-force reference
+// matcher (see MatchBinaryRef).
+func JaccardBinaryRef(a, b *BinarySet, hammingMax int) float64 {
+	m := matchBinaryRef(a, b, hammingMax)
+	union := a.Len() + b.Len() - m
+	if union <= 0 {
+		return 0
+	}
+	return float64(m) / float64(union)
+}
+
+// matchBinaryRef is the original full-scan matcher, kept verbatim as the
+// test oracle the prepared kernel must equal bit for bit.
+func matchBinaryRef(a, b *BinarySet, hammingMax int) int {
 	if a.Len() == 0 || b.Len() == 0 {
 		return 0
 	}
@@ -63,13 +95,18 @@ func JaccardBinary(a, b *BinarySet, hammingMax int) float64 {
 }
 
 // MatchFloat returns the size of a one-to-one ratio-test matching between
-// two float descriptor sets.
+// two float descriptor sets. The greedy loop iterates the smaller set
+// and marks partners in the larger one; for equal-length sets the
+// iteration side is chosen by descriptor content (lexicographically
+// smaller set first) rather than argument order, so the result — and
+// therefore JaccardFloat — is symmetric in its arguments.
 func MatchFloat(a, b *FloatSet, ratio float64) int {
 	if a.Len() == 0 || b.Len() == 0 || a.Dim != b.Dim {
 		return 0
 	}
 	small, big := a, b
-	if small.Len() > big.Len() {
+	if small.Len() > big.Len() ||
+		(small.Len() == big.Len() && floatSetLess(big, small)) {
 		small, big = big, small
 	}
 	used := make([]bool, big.Len())
@@ -112,6 +149,22 @@ func JaccardFloat(a, b *FloatSet, ratio float64) float64 {
 		return 0
 	}
 	return float64(m) / float64(union)
+}
+
+// floatSetLess orders float sets lexicographically by vector content.
+// It is the canonical-order tie-break that makes MatchFloat symmetric
+// when both sets have the same length; identical contents compare equal,
+// for which either iteration side yields the same matching.
+func floatSetLess(a, b *FloatSet) bool {
+	for i := range a.Vectors {
+		av, bv := a.Vectors[i], b.Vectors[i]
+		for k := range av {
+			if av[k] != bv[k] {
+				return av[k] < bv[k]
+			}
+		}
+	}
+	return false
 }
 
 func sqDist(a, b []float32) float64 {

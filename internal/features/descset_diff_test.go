@@ -1,0 +1,247 @@
+package features
+
+// Differential harness pinning the sub-linear prepared kernel
+// (prepared.go) bit-identical to the brute-force reference matcher
+// (matchBinaryRef): same nearest-neighbor indices, same match counts,
+// same Jaccard values, across adversarial set shapes, radii, duplicate
+// structure, and testing/quick random instances.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randDescriptor draws a uniformly random 256-bit descriptor.
+func randDescriptor(rng *rand.Rand) Descriptor {
+	return Descriptor{rng.Uint64(), rng.Uint64(), rng.Uint64(), rng.Uint64()}
+}
+
+// perturb flips k random bits of d.
+func perturb(rng *rand.Rand, d Descriptor, k int) Descriptor {
+	for i := 0; i < k; i++ {
+		b := rng.Intn(256)
+		d[b>>6] ^= 1 << uint(b&63)
+	}
+	return d
+}
+
+// randSet builds a descriptor set of size n. Descriptors are drawn from
+// a small pool of bases with few-bit perturbations, so sets are full of
+// near-duplicates, exact duplicates, and distance ties — the regime where
+// tie-breaking bugs would show.
+func randSet(rng *rand.Rand, n, bases int) *BinarySet {
+	if n == 0 {
+		return &BinarySet{}
+	}
+	if bases < 1 {
+		bases = 1
+	}
+	pool := make([]Descriptor, bases)
+	for i := range pool {
+		pool[i] = randDescriptor(rng)
+	}
+	s := &BinarySet{Descriptors: make([]Descriptor, n)}
+	for i := range s.Descriptors {
+		s.Descriptors[i] = perturb(rng, pool[rng.Intn(bases)], rng.Intn(8))
+	}
+	return s
+}
+
+// assertKernelEqual checks every observable of the fast kernel against
+// the reference for one (a, b, radius) instance.
+func assertKernelEqual(t *testing.T, a, b *BinarySet, hammingMax int) {
+	t.Helper()
+	pa, pb := a.Prepare(), b.Prepare()
+	refAB := nearestBinary(a.Descriptors, b.Descriptors, hammingMax)
+	gotAB := nearestPrepared(pa, pb, hammingMax)
+	for i := range refAB {
+		if refAB[i] != gotAB[i] {
+			t.Fatalf("radius %d: nearest[%d] = %d, reference %d", hammingMax, i, gotAB[i], refAB[i])
+		}
+	}
+	refBA := nearestBinary(b.Descriptors, a.Descriptors, hammingMax)
+	gotBA := nearestPrepared(pb, pa, hammingMax)
+	for i := range refBA {
+		if refBA[i] != gotBA[i] {
+			t.Fatalf("radius %d: reverse nearest[%d] = %d, reference %d", hammingMax, i, gotBA[i], refBA[i])
+		}
+	}
+	if got, want := MatchPrepared(pa, pb, hammingMax), matchBinaryRef(a, b, hammingMax); got != want {
+		t.Fatalf("radius %d: MatchPrepared = %d, reference %d", hammingMax, got, want)
+	}
+	if got, want := MatchBinary(a, b, hammingMax), matchBinaryRef(a, b, hammingMax); got != want {
+		t.Fatalf("radius %d: MatchBinary = %d, reference %d", hammingMax, got, want)
+	}
+	if got, want := JaccardPrepared(pa, pb, hammingMax), JaccardBinaryRef(a, b, hammingMax); got != want {
+		t.Fatalf("radius %d: JaccardPrepared = %v, reference %v", hammingMax, got, want)
+	}
+	if got, want := JaccardBinary(a, b, hammingMax), JaccardBinaryRef(a, b, hammingMax); got != want {
+		t.Fatalf("radius %d: JaccardBinary = %v, reference %v", hammingMax, got, want)
+	}
+}
+
+// diffRadii covers both kernel paths (banded < mihBands ≤ scan), the
+// boundaries between them, degenerate radii, and beyond-saturation radii.
+var diffRadii = []int{-1, 0, 1, 2, 5, DefaultHammingMax, mihBands - 1, mihBands,
+	mihBands + 1, 64, 255, 256, 300, math.MaxInt}
+
+func TestPreparedMatchesReferenceTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xd1ff))
+	dup := randDescriptor(rng)
+	cases := []struct {
+		name string
+		a, b *BinarySet
+	}{
+		{"both empty", &BinarySet{}, &BinarySet{}},
+		{"left empty", &BinarySet{}, randSet(rng, 7, 3)},
+		{"right empty", randSet(rng, 7, 3), &BinarySet{}},
+		{"singletons", randSet(rng, 1, 1), randSet(rng, 1, 1)},
+		{"singleton vs many", randSet(rng, 1, 1), randSet(rng, 40, 5)},
+		{"equal sizes", randSet(rng, 24, 4), randSet(rng, 24, 4)},
+		{"skewed sizes", randSet(rng, 3, 2), randSet(rng, 120, 6)},
+		{"duplicates inside sets",
+			&BinarySet{Descriptors: []Descriptor{dup, dup, perturb(rng, dup, 1), dup}},
+			&BinarySet{Descriptors: []Descriptor{perturb(rng, dup, 2), dup, dup}}},
+		{"all identical",
+			&BinarySet{Descriptors: []Descriptor{dup, dup, dup, dup, dup}},
+			&BinarySet{Descriptors: []Descriptor{dup, dup, dup}}},
+		{"same set both sides", randSet(rng, 30, 3), nil}, // b filled below
+	}
+	cases[len(cases)-1].b = cases[len(cases)-1].a
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, r := range diffRadii {
+				assertKernelEqual(t, tc.a, tc.b, r)
+			}
+		})
+	}
+}
+
+func TestPreparedMatchesReferenceQuick(t *testing.T) {
+	// testing/quick drives the instance generator: sizes (incl. 0/1,
+	// equal, skewed), base-pool entropy, and radius all derive from the
+	// fuzzed integers.
+	f := func(seed int64, na, nb uint8, bases uint8, radius int16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randSet(rng, int(na)%48, 1+int(bases)%6)
+		b := randSet(rng, int(nb)%48, 1+int(bases)%6)
+		r := int(radius) % 280
+		pa, pb := a.Prepare(), b.Prepare()
+		if MatchPrepared(pa, pb, r) != matchBinaryRef(a, b, r) {
+			return false
+		}
+		gotAB := nearestPrepared(pa, pb, r)
+		refAB := nearestBinary(a.Descriptors, b.Descriptors, r)
+		for i := range refAB {
+			if gotAB[i] != refAB[i] {
+				return false
+			}
+		}
+		return JaccardPrepared(pa, pb, r) == JaccardBinaryRef(a, b, r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreparedMatchesReferenceOnExtractedSets(t *testing.T) {
+	// Real BRIEF descriptors are correlated (skewed band histograms),
+	// unlike the synthetic pools above; pin equality on them too.
+	ref, similar, other := testImages(77)
+	cfg := DefaultConfig()
+	sets := []*BinarySet{
+		ExtractORB(ref, cfg), ExtractORB(similar, cfg), ExtractORB(other, cfg),
+	}
+	for _, a := range sets {
+		for _, b := range sets {
+			for _, r := range []int{0, 5, DefaultHammingMax, mihBands, 80} {
+				assertKernelEqual(t, a, b, r)
+			}
+		}
+	}
+}
+
+func TestPrepareEmptyAndNil(t *testing.T) {
+	var nilSet *BinarySet
+	p := nilSet.Prepare()
+	if p.Len() != 0 {
+		t.Fatal("nil set should prepare to an empty prepared set")
+	}
+	q := (&BinarySet{}).Prepare()
+	if MatchPrepared(p, q, DefaultHammingMax) != 0 {
+		t.Fatal("empty prepared match should be 0")
+	}
+	if JaccardPrepared(p, q, DefaultHammingMax) != 0 {
+		t.Fatal("empty prepared Jaccard should be 0")
+	}
+	var nilPrep *PreparedBinarySet
+	if nilPrep.Len() != 0 {
+		t.Fatal("nil prepared Len should be 0")
+	}
+}
+
+func TestPreparedBandTablesComplete(t *testing.T) {
+	// Structural invariant behind the pigeonhole argument: every
+	// descriptor appears exactly once per band, buckets are ascending,
+	// and the bucket agrees with the descriptor's byte.
+	rng := rand.New(rand.NewSource(42))
+	s := randSet(rng, 33, 4)
+	p := s.Prepare()
+	for b := 0; b < mihBands; b++ {
+		seen := make([]bool, s.Len())
+		for v := 0; v < mihBuckets; v++ {
+			k := b*mihBuckets + v
+			bucket := p.ids[p.start[k]:p.start[k+1]]
+			for i, jj := range bucket {
+				j := int(jj)
+				if seen[j] {
+					t.Fatalf("band %d: descriptor %d listed twice", b, j)
+				}
+				seen[j] = true
+				var row [mihBands]uint8
+				scatterBands(&s.Descriptors[j], row[:])
+				if int(row[b]) != v {
+					t.Fatalf("band %d: descriptor %d in bucket %d but band value is %d",
+						b, j, v, row[b])
+				}
+				if i > 0 && int(bucket[i-1]) >= j {
+					t.Fatalf("band %d bucket %d not ascending", b, v)
+				}
+			}
+		}
+		for j, ok := range seen {
+			if !ok {
+				t.Fatalf("band %d: descriptor %d missing from every bucket", b, j)
+			}
+		}
+	}
+}
+
+func TestScatterBandsMatchesReference(t *testing.T) {
+	// The transposed scatterBands must reproduce the readable reference
+	// bit for bit — the band partition is the pigeonhole contract.
+	rng := rand.New(rand.NewSource(7))
+	check := func(d *Descriptor) {
+		var got, want [mihBands]uint8
+		scatterBands(d, got[:])
+		scatterBandsRef(d, want[:])
+		if got != want {
+			t.Fatalf("scatterBands(%x) = %v, reference %v", *d, got, want)
+		}
+	}
+	check(&Descriptor{})
+	check(&Descriptor{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)})
+	for w := 0; w < 4; w++ {
+		for b := 0; b < 64; b++ {
+			var d Descriptor
+			d[w] = 1 << uint(b)
+			check(&d)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		d := randDescriptor(rng)
+		check(&d)
+	}
+}

@@ -1,0 +1,69 @@
+package features
+
+// FuzzMatchBinary drives the prepared kernel and the brute-force oracle
+// with arbitrary descriptor bytes, set splits, and radii, asserting they
+// never diverge and never panic. The seed corpus in
+// testdata/fuzz/FuzzMatchBinary runs as part of the normal test suite;
+// `make fuzz` explores beyond it.
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// fuzzSets splits raw into 32-byte descriptors and partitions them into
+// two sets at split.
+func fuzzSets(raw []byte, split byte) (*BinarySet, *BinarySet) {
+	var ds []Descriptor
+	for len(raw) >= 32 {
+		var d Descriptor
+		for w := 0; w < 4; w++ {
+			d[w] = binary.LittleEndian.Uint64(raw[w*8:])
+		}
+		ds = append(ds, d)
+		raw = raw[32:]
+	}
+	k := 0
+	if len(ds) > 0 {
+		k = int(split) % (len(ds) + 1)
+	}
+	return &BinarySet{Descriptors: ds[:k]}, &BinarySet{Descriptors: ds[k:]}
+}
+
+func FuzzMatchBinary(f *testing.F) {
+	// A couple of inline seeds beyond the checked-in corpus: empty input,
+	// one identical pair, radius edge at the banded/scan boundary.
+	f.Add([]byte{}, byte(0), 20)
+	pair := make([]byte, 64)
+	for i := range pair {
+		pair[i] = byte(i * 7)
+	}
+	copy(pair[32:], pair[:32])
+	f.Add(pair, byte(1), 0)
+	f.Add(pair, byte(1), mihBands)
+	f.Fuzz(func(t *testing.T, raw []byte, split byte, radius int) {
+		a, b := fuzzSets(raw, split)
+		pa, pb := a.Prepare(), b.Prepare()
+		want := matchBinaryRef(a, b, radius)
+		if got := MatchPrepared(pa, pb, radius); got != want {
+			t.Fatalf("MatchPrepared = %d, reference %d (na=%d nb=%d r=%d)",
+				got, want, a.Len(), b.Len(), radius)
+		}
+		if got := MatchBinary(a, b, radius); got != want {
+			t.Fatalf("MatchBinary = %d, reference %d", got, want)
+		}
+		refAB := nearestBinary(a.Descriptors, b.Descriptors, radius)
+		gotAB := nearestPrepared(pa, pb, radius)
+		for i := range refAB {
+			if gotAB[i] != refAB[i] {
+				t.Fatalf("nearest[%d] = %d, reference %d (r=%d)", i, gotAB[i], refAB[i], radius)
+			}
+		}
+		if got, want := JaccardPrepared(pa, pb, radius), JaccardBinaryRef(a, b, radius); got != want {
+			t.Fatalf("JaccardPrepared = %v, reference %v", got, want)
+		}
+		if JaccardBinary(a, b, radius) != JaccardBinary(b, a, radius) {
+			t.Fatalf("JaccardBinary asymmetric at r=%d", radius)
+		}
+	})
+}

@@ -32,15 +32,15 @@ func RunAblationBudget(seed int64, batchSize int, dupCounts []int) []AblationBud
 	for i, dups := range dupCounts {
 		d := dataset.NewDisasterBatch(seed+int64(i), batchSize, dups, 0)
 		cfg := features.DefaultConfig()
-		sets := make([]*features.BinarySet, len(d.Batch))
+		sets := make([]*features.PreparedBinarySet, len(d.Batch))
 		for j, img := range d.Batch {
-			sets[j] = features.ExtractORB(img.Render(), cfg)
+			sets[j] = features.ExtractORB(img.Render(), cfg).Prepare()
 			img.Free()
 		}
 		g := submod.NewGraph(len(sets))
 		for a := 0; a < len(sets); a++ {
 			for b := a + 1; b < len(sets); b++ {
-				g.SetWeight(a, b, features.JaccardBinary(sets[a], sets[b], features.DefaultHammingMax))
+				g.SetWeight(a, b, features.JaccardPrepared(sets[a], sets[b], features.DefaultHammingMax))
 			}
 		}
 		adaptive := submod.Summarize(g, 0.019, submod.DefaultOptions())

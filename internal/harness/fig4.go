@@ -52,25 +52,26 @@ func RunFig4(opts Fig4Options) Fig4Result {
 		Similar:    make([]float64, 0, opts.Pairs),
 		Dissimilar: make([]float64, 0, opts.Pairs),
 	}
-	// Cache reference sets per group as they are needed twice.
-	refSets := make([]*features.BinarySet, opts.Pairs)
-	refSet := func(g int) *features.BinarySet {
+	// Cache reference sets per group, prepared once: each is matched
+	// against its variant and potentially several dissimilar partners.
+	refSets := make([]*features.PreparedBinarySet, opts.Pairs)
+	refSet := func(g int) *features.PreparedBinarySet {
 		if refSets[g] == nil {
 			img := set.Group(g)[0]
-			refSets[g] = features.ExtractORB(img.Render(), cfg)
+			refSets[g] = features.ExtractORB(img.Render(), cfg).Prepare()
 			img.Free()
 		}
 		return refSets[g]
 	}
 	for g := 0; g < opts.Pairs; g++ {
 		variant := set.Group(g)[1+rng.Intn(3)]
-		vset := features.ExtractORB(variant.Render(), cfg)
+		vset := features.ExtractORB(variant.Render(), cfg).Prepare()
 		variant.Free()
 		res.Similar = append(res.Similar,
-			features.JaccardBinary(refSet(g), vset, features.DefaultHammingMax))
+			features.JaccardPrepared(refSet(g), vset, features.DefaultHammingMax))
 		other := (g + 1 + rng.Intn(opts.Pairs-1)) % opts.Pairs
 		res.Dissimilar = append(res.Dissimilar,
-			features.JaccardBinary(refSet(g), refSet(other), features.DefaultHammingMax))
+			features.JaccardPrepared(refSet(g), refSet(other), features.DefaultHammingMax))
 	}
 	res.Points = metrics.Sweep(res.Similar, res.Dissimilar, opts.Thresholds)
 	return res

@@ -27,6 +27,28 @@ func BenchmarkQueryMaxExhaustive(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryMaxExhaustiveRef is the brute-force matcher baseline for
+// the exhaustive scan (same corpus and query as the prepared benchmark
+// above), kept so `make benchdiff` tracks the kernel speedup at the
+// index layer.
+func BenchmarkQueryMaxExhaustiveRef(b *testing.B) {
+	c := newCorpus(b, 60, 901)
+	idx := buildIndex(c)
+	q := c.variantSet(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var best *Entry
+		bestSim := 0.0
+		for _, id := range idx.sortedIDs() {
+			e := idx.Get(id)
+			if sim := features.JaccardBinaryRef(q, e.Set, idx.cfg.HammingMax); sim > bestSim {
+				bestSim, best = sim, e
+			}
+		}
+		_ = best
+	}
+}
+
 func BenchmarkAdd(b *testing.B) {
 	c := newCorpus(b, 8, 902)
 	b.ReportAllocs()

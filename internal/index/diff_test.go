@@ -1,0 +1,49 @@
+package index
+
+// Differential tests: the index's prepared-kernel re-ranking must report
+// exactly the similarities the brute-force reference matcher computes,
+// and ExhaustiveMax must agree with a by-hand reference scan.
+
+import (
+	"testing"
+
+	"bees/internal/features"
+)
+
+func TestQueryTopKSimilaritiesMatchReference(t *testing.T) {
+	c := newCorpus(t, 10, 0xd1f)
+	idx := buildIndex(c)
+	for i := 0; i < 4; i++ {
+		q := c.variantSet(i)
+		for _, res := range idx.QueryTopK(q, 5) {
+			e := idx.Get(res.ID)
+			want := features.JaccardBinaryRef(q, e.Set, idx.cfg.HammingMax)
+			if res.Similarity != want {
+				t.Fatalf("query %d: result %d similarity %v, reference %v",
+					i, res.ID, res.Similarity, want)
+			}
+		}
+	}
+}
+
+func TestExhaustiveMaxMatchesReference(t *testing.T) {
+	c := newCorpus(t, 8, 0xe4a)
+	idx := buildIndex(c)
+	for i := 0; i < 3; i++ {
+		q := c.variantSet(i)
+		gotE, gotSim := idx.ExhaustiveMax(q)
+		// Reference scan, same ID order and same strict-improvement rule.
+		var wantE *Entry
+		wantSim := 0.0
+		for _, id := range idx.sortedIDs() {
+			e := idx.Get(id)
+			if sim := features.JaccardBinaryRef(q, e.Set, idx.cfg.HammingMax); sim > wantSim {
+				wantSim, wantE = sim, e
+			}
+		}
+		if gotSim != wantSim || gotE != wantE {
+			t.Fatalf("query %d: ExhaustiveMax = (%v, %v), reference (%v, %v)",
+				i, gotE, gotSim, wantE, wantSim)
+		}
+	}
+}

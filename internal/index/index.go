@@ -32,6 +32,20 @@ type Entry struct {
 	GroupID int64
 	Lat     float64
 	Lon     float64
+
+	// prep is the matching-accelerated form of Set, built once on Add so
+	// every query re-ranks against prepared tables instead of re-scanning
+	// the raw descriptors.
+	prep *features.PreparedBinarySet
+}
+
+// prepared returns the entry's accelerated set, building it on the spot
+// for entries that never passed through Add (hand-built in tests).
+func (e *Entry) prepared() *features.PreparedBinarySet {
+	if e.prep != nil {
+		return e.prep
+	}
+	return e.Set.Prepare()
 }
 
 // Result is one ranked query answer.
@@ -156,6 +170,7 @@ func (x *Index) Add(e *Entry) {
 	if e == nil || e.Set == nil {
 		return
 	}
+	e.prep = e.Set.Prepare()
 	sh := x.shardFor(e.ID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -261,12 +276,13 @@ func (x *Index) QueryTopK(set *features.BinarySet, k int) []Result {
 		cands = cands[:limit]
 	}
 	results := make([]Result, 0, len(cands))
+	prepQ := set.Prepare()
 	for _, c := range cands {
 		e := x.Get(c.id)
 		if e == nil {
 			continue
 		}
-		sim := features.JaccardBinary(set, e.Set, x.cfg.HammingMax)
+		sim := features.JaccardPrepared(prepQ, e.prepared(), x.cfg.HammingMax)
 		if sim <= 0 {
 			// A hash collision with no surviving exact match is not a
 			// retrieval result.
@@ -320,12 +336,13 @@ func (x *Index) sortedIDs() []ImageID {
 func (x *Index) ExhaustiveMax(set *features.BinarySet) (*Entry, float64) {
 	var best *Entry
 	bestSim := 0.0
+	prepQ := set.Prepare()
 	for _, id := range x.sortedIDs() {
 		e := x.Get(id)
 		if e == nil {
 			continue
 		}
-		if sim := features.JaccardBinary(set, e.Set, x.cfg.HammingMax); sim > bestSim {
+		if sim := features.JaccardPrepared(prepQ, e.prepared(), x.cfg.HammingMax); sim > bestSim {
 			bestSim, best = sim, e
 		}
 	}
