@@ -51,9 +51,12 @@ type document struct {
 	Raw        string      `json:"raw"`
 }
 
-// defaultMatch selects the matcher-kernel benchmarks the compare gate
-// watches: the prepared/reference pairs in features, core, and index.
-const defaultMatch = `Match|Jaccard|Prepare|BatchGraph|QueryMax`
+// defaultMatch selects the kernel benchmarks the compare gate watches:
+// the matcher prepared/reference pairs in features, core, and index
+// (Match / Jaccard / Prepare / BatchGraph / QueryMax) plus, since the
+// extraction fast path landed, the extraction and codec hot path
+// (Extract / DetectFAST / Encoded / Pipeline).
+const defaultMatch = `Match|Jaccard|Prepare|BatchGraph|QueryMax|Extract|DetectFAST|Encoded|Pipeline`
 
 func main() {
 	compare := flag.Bool("compare", false,

@@ -50,20 +50,36 @@ func TestCompareDocsGate(t *testing.T) {
 	oldDoc := docOf(map[string]float64{
 		"BenchmarkMatchBinaryPrepared-8": 100,
 		"BenchmarkBuildBatchGraph-8":     1000,
-		"BenchmarkExtractORB-8":          5000, // not gated
+		"BenchmarkExtractORB-8":          5000, // gated since the extraction fast path
+		"BenchmarkHamming-8":             10,   // not gated
 	})
 	t.Run("within threshold passes", func(t *testing.T) {
 		newDoc := docOf(map[string]float64{
-			"BenchmarkMatchBinaryPrepared-8": 110, // +10%
-			"BenchmarkBuildBatchGraph-8":     900, // improvement
-			"BenchmarkExtractORB-8":          9000,
+			"BenchmarkMatchBinaryPrepared-8": 110,  // +10%
+			"BenchmarkBuildBatchGraph-8":     900,  // improvement
+			"BenchmarkExtractORB-8":          5100, // +2%
+			"BenchmarkHamming-8":             90,   // huge, but ungated
 		})
 		var out strings.Builder
 		if n := compareDocs(oldDoc, newDoc, re, 0.15, &out); n != 0 {
 			t.Fatalf("regressions = %d, want 0\n%s", n, out.String())
 		}
-		if strings.Contains(out.String(), "ExtractORB") {
+		if strings.Contains(out.String(), "Hamming") {
 			t.Fatal("ungated benchmark leaked into the report")
+		}
+	})
+	t.Run("extraction benches are gated", func(t *testing.T) {
+		newDoc := docOf(map[string]float64{
+			"BenchmarkMatchBinaryPrepared-8": 100,
+			"BenchmarkBuildBatchGraph-8":     1000,
+			"BenchmarkExtractORB-8":          7000, // +40%
+		})
+		var out strings.Builder
+		if n := compareDocs(oldDoc, newDoc, re, 0.15, &out); n != 1 {
+			t.Fatalf("regressions = %d, want 1\n%s", n, out.String())
+		}
+		if !strings.Contains(out.String(), "FAIL BenchmarkExtractORB-8") {
+			t.Fatalf("missing FAIL line:\n%s", out.String())
 		}
 	})
 	t.Run("past threshold fails", func(t *testing.T) {

@@ -16,12 +16,27 @@ import (
 // deterministic (extraction is a pure per-image function; order is
 // preserved by index). Energy and delay accounting stay with the caller:
 // the phone's cost model is per-image regardless of host parallelism.
+// Extraction buffers (pyramid rasters, integrals, FAST score rows) come
+// from a pooled per-goroutine arena, so steady-state batches allocate
+// only the descriptor sets themselves.
 func ExtractAll(batch []*dataset.Image, bitmapC float64, cfg features.Config) []*features.BinarySet {
 	sets := make([]*features.BinarySet, len(batch))
 	ForEachIndex(len(batch), func(i int) {
 		sets[i] = extractOne(batch[i], bitmapC, cfg)
 	})
 	return sets
+}
+
+// extractScratch bundles the two arenas one extraction needs: the AFE
+// bitmap-compression scratch and the ORB extraction scratch. Pooled so
+// concurrent ExtractAll workers each reuse one across images.
+type extractScratch struct {
+	bmp  imagelib.Scratch
+	feat *features.ExtractScratch
+}
+
+var extractScratchPool = sync.Pool{
+	New: func() any { return &extractScratch{feat: features.NewExtractScratch()} },
 }
 
 // ForEachIndex runs fn(0..n-1) across all host cores (see par.Do). fn
@@ -32,8 +47,10 @@ func ExtractAll(batch []*dataset.Image, bitmapC float64, cfg features.Config) []
 func ForEachIndex(n int, fn func(i int)) { par.Do(n, fn) }
 
 func extractOne(img *dataset.Image, bitmapC float64, cfg features.Config) *features.BinarySet {
-	bitmap := imagelib.CompressBitmap(img.Render(), bitmapC)
-	return features.ExtractORB(bitmap, cfg)
+	es := extractScratchPool.Get().(*extractScratch)
+	defer extractScratchPool.Put(es)
+	bitmap := es.bmp.CompressBitmap(img.Render(), bitmapC)
+	return features.ExtractORBScratch(bitmap, cfg, es.feat)
 }
 
 // BuildBatchGraph computes the pairwise similarity graph over the

@@ -51,11 +51,61 @@ func BenchmarkExtractGlobal(b *testing.B) {
 	}
 }
 
+// BenchmarkExtractORBRef is the allocating reference pipeline the
+// scratch-arena extraction is measured against (same image, same config).
+func BenchmarkExtractORBRef(b *testing.B) {
+	r := benchRaster(b)
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExtractORBRef(r, cfg)
+	}
+}
+
+// BenchmarkExtractORBScratch measures the steady-state cost on a warm
+// caller-owned arena — the regime every ExtractAll worker runs in.
+func BenchmarkExtractORBScratch(b *testing.B) {
+	r := benchRaster(b)
+	cfg := DefaultConfig()
+	s := NewExtractScratch()
+	ExtractORBScratch(r, cfg, s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExtractORBScratch(r, cfg, s)
+	}
+}
+
 func BenchmarkDetectFAST(b *testing.B) {
 	r := benchRaster(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		DetectFAST(r, 18)
+	}
+}
+
+// BenchmarkDetectFASTRef is the full-score-plane baseline for the rolling
+// three-row detector.
+func BenchmarkDetectFASTRef(b *testing.B) {
+	r := benchRaster(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DetectFASTRef(r, 18)
+	}
+}
+
+// BenchmarkDetectFASTScratch is detection on a warm caller-owned scratch:
+// the allocation-free steady state.
+func BenchmarkDetectFASTScratch(b *testing.B) {
+	r := benchRaster(b)
+	s := NewExtractScratch()
+	DetectFASTScratch(r, 18, s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DetectFASTScratch(r, 18, s)
 	}
 }
 

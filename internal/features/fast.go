@@ -6,6 +6,14 @@ import "bees/internal/imagelib"
 // least 9 contiguous pixels on the 16-pixel Bresenham circle of radius 3
 // are all brighter than center+threshold or all darker than
 // center-threshold.
+//
+// Two implementations live here. DetectFASTRef is the original
+// full-score-plane detector, kept verbatim as the differential oracle.
+// DetectFAST is the production path: it runs on a reusable ExtractScratch
+// (three rolling score rows instead of a w×h plane) and rejects most
+// pixels with a 4-point compass test before gathering the 16-pixel ring.
+// The two are bit-identical — same keypoints, same scores, same order —
+// and the suite in extract_diff_test.go gates that equivalence.
 
 // circleOffsets are the 16 (dx, dy) offsets of the radius-3 circle in
 // clockwise order starting at 12 o'clock.
@@ -20,8 +28,33 @@ const fastArc = 9
 
 // DetectFAST finds FAST-9 corners in r with the given intensity threshold,
 // applies 3×3 non-maximum suppression on the corner score, and returns the
-// surviving keypoints (unordered, without orientation).
+// surviving keypoints (unordered, without orientation). Results are
+// bit-identical to DetectFASTRef.
 func DetectFAST(r *imagelib.Raster, threshold int) []Keypoint {
+	s := getExtractScratch()
+	defer putExtractScratch(s)
+	kps := s.detectFAST(r, threshold, s.kps[:0])
+	s.kps = kps[:0]
+	if len(kps) == 0 {
+		return nil
+	}
+	out := make([]Keypoint, len(kps))
+	copy(out, kps)
+	return out
+}
+
+// DetectFASTScratch is DetectFAST on a caller-owned scratch: zero
+// steady-state allocations. The returned slice is backed by the scratch
+// and valid only until its next use.
+func DetectFASTScratch(r *imagelib.Raster, threshold int, s *ExtractScratch) []Keypoint {
+	s.kps = s.detectFAST(r, threshold, s.kps[:0])
+	return s.kps
+}
+
+// DetectFASTRef is the original detector, kept as the bit-identity oracle
+// for DetectFAST: it scores every pixel into a freshly allocated w×h
+// plane, then runs non-maximum suppression over the plane.
+func DetectFASTRef(r *imagelib.Raster, threshold int) []Keypoint {
 	if threshold < 1 {
 		threshold = 1
 	}
@@ -32,7 +65,7 @@ func DetectFAST(r *imagelib.Raster, threshold int) []Keypoint {
 	scores := make([]int, w*h)
 	for y := 3; y < h-3; y++ {
 		for x := 3; x < w-3; x++ {
-			if s := fastScore(r, x, y, threshold); s > 0 {
+			if s := fastScoreRef(r, x, y, threshold); s > 0 {
 				scores[y*w+x] = s
 			}
 		}
@@ -53,10 +86,10 @@ func DetectFAST(r *imagelib.Raster, threshold int) []Keypoint {
 	return kps
 }
 
-// fastScore returns a positive corner score if (x, y) passes the FAST-9
-// test, else 0. The score is the sum of absolute differences over the
-// qualifying arc, which is the conventional ranking function.
-func fastScore(r *imagelib.Raster, x, y, threshold int) int {
+// fastScoreRef returns a positive corner score if (x, y) passes the
+// FAST-9 test, else 0. The score is the sum of absolute differences over
+// the qualifying arc, which is the conventional ranking function.
+func fastScoreRef(r *imagelib.Raster, x, y, threshold int) int {
 	c := int(r.Pix[y*r.W+x])
 	var diffs [16]int
 	for i, off := range circleOffsets {

@@ -56,8 +56,38 @@ func (s *BinarySet) Bytes() int { return s.Len() * AlgORB.DescriptorBytes() }
 
 // ExtractORB runs the full ORB pipeline on r: a scale pyramid, FAST-9
 // detection per level, intensity-centroid orientation, and steered BRIEF
-// descriptors computed on a smoothed copy of each level.
+// descriptors computed on a smoothed copy of each level. It draws a
+// scratch arena from an internal pool, so repeated calls reuse the
+// pyramid/score/integral buffers; output is bit-identical to
+// ExtractORBRef (gated by the differential suite in extract_diff_test.go).
 func ExtractORB(r *imagelib.Raster, cfg Config) *BinarySet {
+	s := getExtractScratch()
+	defer putExtractScratch(s)
+	return ExtractORBScratch(r, cfg, s)
+}
+
+// ExtractORBScratch is ExtractORB on a caller-owned arena: steady-state
+// extraction allocates only the returned BinarySet. The scratch must not
+// be shared across goroutines.
+func ExtractORBScratch(r *imagelib.Raster, cfg Config, s *ExtractScratch) *BinarySet {
+	kps := s.detectPyramid(r, cfg)
+	set := &BinarySet{
+		Descriptors: make([]Descriptor, 0, len(kps)),
+		Keypoints:   make([]Keypoint, 0, len(kps)),
+	}
+	for _, kp := range kps {
+		sm := s.smoothedLevel(kp.Level, cfg.BlurRadius)
+		kp.Angle = orientation(sm, kp.X, kp.Y)
+		set.Descriptors = append(set.Descriptors, computeBRIEF(sm, kp))
+		set.Keypoints = append(set.Keypoints, kp)
+	}
+	return set
+}
+
+// ExtractORBRef is the original allocating extraction pipeline, kept
+// verbatim as the bit-identity oracle for ExtractORB: descriptors,
+// keypoints (every field) and their order must match exactly.
+func ExtractORBRef(r *imagelib.Raster, cfg Config) *BinarySet {
 	kps, levels := detectPyramid(r, cfg)
 	set := &BinarySet{
 		Descriptors: make([]Descriptor, 0, len(kps)),
@@ -79,7 +109,10 @@ func ExtractORB(r *imagelib.Raster, cfg Config) *BinarySet {
 
 // detectPyramid builds the scale pyramid, detects FAST keypoints on every
 // level, drops points too close to a border for BRIEF, and returns the
-// strongest MaxFeatures keypoints together with the level rasters.
+// strongest MaxFeatures keypoints together with the level rasters. It is
+// the reference pyramid (every buffer allocated per call, detection via
+// DetectFASTRef), serving ExtractORBRef and the SIFT baselines; the
+// production twin is (*ExtractScratch).detectPyramid.
 func detectPyramid(r *imagelib.Raster, cfg Config) ([]Keypoint, []*imagelib.Raster) {
 	if cfg.Levels < 1 {
 		cfg.Levels = 1
@@ -120,7 +153,7 @@ func detectPyramid(r *imagelib.Raster, cfg Config) ([]Keypoint, []*imagelib.Rast
 	var all []Keypoint
 	for li, lvl := range levels {
 		perLevel := make([]Keypoint, 0, 128)
-		for _, kp := range DetectFAST(lvl, cfg.FASTThreshold) {
+		for _, kp := range DetectFASTRef(lvl, cfg.FASTThreshold) {
 			if kp.X < patchMargin || kp.X >= lvl.W-patchMargin ||
 				kp.Y < patchMargin || kp.Y >= lvl.H-patchMargin {
 				continue

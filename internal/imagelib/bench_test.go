@@ -23,6 +23,16 @@ func BenchmarkEncodedSize(b *testing.B) {
 	}
 }
 
+// BenchmarkEncodedSizeRef is the original size-via-full-encode baseline
+// the size-only EncodedSize loop is measured against.
+func BenchmarkEncodedSizeRef(b *testing.B) {
+	r := testScene(902)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		encodeRef(r, 0.85, false)
+	}
+}
+
 func BenchmarkEncodeDecode(b *testing.B) {
 	r := testScene(903)
 	b.ResetTimer()

@@ -64,6 +64,31 @@ func quantTable(quality int) [64]int {
 	return q
 }
 
+// quantTables caches the 100 possible quantization tables. EAAS probes
+// EncodedSize once per knob-search step, and every AIU upload sizes its
+// raster through the codec, so the table for a given quality is requested
+// far more often than it changes: computing all of them once at init
+// removes the per-call rescale entirely.
+var quantTables = func() [100][64]int {
+	var t [100][64]int
+	for q := 1; q <= 100; q++ {
+		t[q-1] = quantTable(q)
+	}
+	return t
+}()
+
+// cachedQuantTable returns the precomputed table for a quality setting,
+// clamped to [1, 100] like quantTable.
+func cachedQuantTable(quality int) *[64]int {
+	if quality < 1 {
+		quality = 1
+	}
+	if quality > 100 {
+		quality = 100
+	}
+	return &quantTables[quality-1]
+}
+
 // QualityToSetting converts a quality-compression proportion p ∈ [0, 1)
 // into the codec quality setting: q = 100·(1−p)^0.6. The sub-linear
 // exponent calibrates the size-vs-proportion curve of the synthetic
@@ -87,19 +112,90 @@ func QualityToSetting(p float64) int {
 // EncodedSize returns the estimated compressed byte size of r at quality
 // proportion p. It runs the real DCT + quantization and sums JPEG-style
 // entropy-coded bit costs (DC difference categories, AC run/size codes).
+// The size-only path never touches the decode machinery: no decoded
+// raster is allocated, no dequantize/idct runs, and the quantization
+// table comes from the per-quality cache. encodeRef is the oracle it is
+// gated against.
 func EncodedSize(r *Raster, p float64) int {
-	size, _ := encode(r, p, false)
-	return size
+	q := cachedQuantTable(QualityToSetting(p))
+	bits := 0
+	prevDC := 0
+	var block, coef [64]float64
+	var quant [64]int
+	for by := 0; by < r.H; by += 8 {
+		for bx := 0; bx < r.W; bx += 8 {
+			loadBlock(&block, r, bx, by)
+			fdct(&block, &coef)
+			for i := 0; i < 64; i++ {
+				quant[i] = int(math.Round(coef[i] / float64(q[i])))
+			}
+			bits += blockBits(&quant, prevDC)
+			prevDC = quant[0]
+		}
+	}
+	// Header overhead roughly matching a minimal JFIF header.
+	return bits/8 + 360
 }
 
 // EncodeDecode compresses r at quality proportion p and returns both the
 // estimated byte size and the decoded (lossy) raster, which SSIM uses to
 // quantify the quality loss.
 func EncodeDecode(r *Raster, p float64) (int, *Raster) {
-	return encode(r, p, true)
+	q := cachedQuantTable(QualityToSetting(p))
+	decoded := NewRaster(r.W, r.H)
+	bits := 0
+	prevDC := 0
+	var block, coef [64]float64
+	var quant [64]int
+	for by := 0; by < r.H; by += 8 {
+		for bx := 0; bx < r.W; bx += 8 {
+			loadBlock(&block, r, bx, by)
+			fdct(&block, &coef)
+			for i := 0; i < 64; i++ {
+				quant[i] = int(math.Round(coef[i] / float64(q[i])))
+			}
+			bits += blockBits(&quant, prevDC)
+			prevDC = quant[0]
+			for i := 0; i < 64; i++ {
+				coef[i] = float64(quant[i] * q[i])
+			}
+			idct(&coef, &block)
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					decoded.Set(bx+x, by+y, clampU8(block[y*8+x]+128))
+				}
+			}
+		}
+	}
+	return bits/8 + 360, decoded
 }
 
-func encode(r *Raster, p float64, wantDecoded bool) (int, *Raster) {
+// loadBlock gathers the level-shifted 8×8 block at (bx, by). Interior
+// blocks index the pixel rows directly; blocks touching the right/bottom
+// edge fall back to the border-clamping At, matching encodeRef exactly.
+func loadBlock(block *[64]float64, r *Raster, bx, by int) {
+	if bx+8 <= r.W && by+8 <= r.H {
+		for y := 0; y < 8; y++ {
+			row := r.Pix[(by+y)*r.W+bx:]
+			for x := 0; x < 8; x++ {
+				block[y*8+x] = float64(row[x]) - 128
+			}
+		}
+		return
+	}
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			block[y*8+x] = float64(r.At(bx+x, by+y)) - 128
+		}
+	}
+}
+
+// encodeRef is the original single-loop codec kept verbatim as the
+// differential oracle for EncodedSize/EncodeDecode: it recomputes the
+// quantization table per call and drives both the size estimate and the
+// decode from one loop. The codec differential tests assert the fast
+// paths above are bit-identical to it at every quality.
+func encodeRef(r *Raster, p float64, wantDecoded bool) (int, *Raster) {
 	q := quantTable(QualityToSetting(p))
 	var decoded *Raster
 	if wantDecoded {

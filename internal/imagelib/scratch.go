@@ -1,0 +1,196 @@
+package imagelib
+
+// Allocation-free variants of the resize/blur primitives on the
+// extraction hot path. Each *Into function writes into caller-owned
+// buffers that are reshaped in place, producing output byte-identical to
+// its allocating counterpart (Downsample, BoxBlur, NewIntegral); the
+// differential suite in internal/features gates that equivalence. See
+// DESIGN.md, "Extraction fast path".
+
+// Reshape resizes r to w×h in place, reusing the pixel buffer when its
+// capacity suffices. The pixels are left uninitialized; callers are
+// expected to overwrite every one.
+func (r *Raster) Reshape(w, h int) {
+	if w <= 0 || h <= 0 {
+		panic("imagelib: Reshape to non-positive size")
+	}
+	r.W, r.H = w, h
+	if cap(r.Pix) < w*h {
+		r.Pix = make([]uint8, w*h)
+	} else {
+		r.Pix = r.Pix[:w*h]
+	}
+}
+
+// Reset rebuilds the summed-area table for r in place, reusing the Sum
+// buffer when possible. The result is identical to NewIntegral(r).
+func (ii *Integral) Reset(r *Raster) {
+	w, h := r.W, r.H
+	ii.W, ii.H = w, h
+	stride := w + 1
+	n := stride * (h + 1)
+	if cap(ii.Sum) < n {
+		ii.Sum = make([]uint64, n)
+	} else {
+		ii.Sum = ii.Sum[:n]
+		// Only the top row and left column stay untouched by the fill
+		// loop below; zero them explicitly instead of the whole buffer.
+		for x := 0; x < stride; x++ {
+			ii.Sum[x] = 0
+		}
+		for y := 1; y <= h; y++ {
+			ii.Sum[y*stride] = 0
+		}
+	}
+	for y := 0; y < h; y++ {
+		var rowSum uint64
+		row := r.Pix[y*w : y*w+w]
+		for x, p := range row {
+			rowSum += uint64(p)
+			ii.Sum[(y+1)*stride+(x+1)] = ii.Sum[y*stride+(x+1)] + rowSum
+		}
+	}
+}
+
+// DownsampleInto area-averages src to w×h into dst using a prebuilt
+// integral of src, and — when dstII is non-nil — builds dst's own
+// summed-area table in the same row pass, so each level of a pyramid is
+// traversed exactly once. Requires w ≤ src.W and h ≤ src.H (no
+// upscaling) and srcII built over src. Output pixels are byte-identical
+// to Downsample(src, w, h), and dstII ends identical to NewIntegral(dst).
+func DownsampleInto(dst *Raster, dstII *Integral, src *Raster, srcII *Integral, w, h int) {
+	if w > src.W || h > src.H {
+		panic("imagelib: DownsampleInto cannot upscale")
+	}
+	dst.Reshape(w, h)
+	var stride int
+	if dstII != nil {
+		dstII.W, dstII.H = w, h
+		stride = w + 1
+		n := stride * (h + 1)
+		if cap(dstII.Sum) < n {
+			dstII.Sum = make([]uint64, n)
+		} else {
+			dstII.Sum = dstII.Sum[:n]
+			for x := 0; x < stride; x++ {
+				dstII.Sum[x] = 0
+			}
+			for y := 1; y <= h; y++ {
+				dstII.Sum[y*stride] = 0
+			}
+		}
+	}
+	xRatio := float64(src.W) / float64(w)
+	yRatio := float64(src.H) / float64(h)
+	// Every source box is in bounds (no upscale), so the summed-area
+	// lookups index the two bracketing integral rows directly instead of
+	// going through BoxMean's clamping. Same sums, same float division,
+	// byte-identical output.
+	srcStride := src.W + 1
+	for y := 0; y < h; y++ {
+		y0 := int(float64(y) * yRatio)
+		y1 := int(float64(y+1)*yRatio) - 1
+		if y1 < y0 {
+			y1 = y0
+		}
+		top := srcII.Sum[y0*srcStride : y0*srcStride+srcStride]
+		bot := srcII.Sum[(y1+1)*srcStride : (y1+1)*srcStride+srcStride]
+		rows := y1 - y0 + 1
+		var rowSum uint64
+		for x := 0; x < w; x++ {
+			x0 := int(float64(x) * xRatio)
+			x1 := int(float64(x+1)*xRatio) - 1
+			if x1 < x0 {
+				x1 = x0
+			}
+			sum := bot[x1+1] - top[x1+1] - bot[x0] + top[x0]
+			n := (x1 - x0 + 1) * rows
+			v := clampU8(float64(sum) / float64(n))
+			dst.Pix[y*w+x] = v
+			if dstII != nil {
+				rowSum += uint64(v)
+				dstII.Sum[(y+1)*stride+(x+1)] = dstII.Sum[y*stride+(x+1)] + rowSum
+			}
+		}
+	}
+}
+
+// BoxBlurInto smooths src with a (2k+1)×(2k+1) box filter into dst, using
+// a prebuilt integral of src instead of building one per call. Output is
+// byte-identical to BoxBlur(src, k).
+func BoxBlurInto(dst *Raster, src *Raster, k int, ii *Integral) {
+	dst.Reshape(src.W, src.H)
+	if k <= 0 {
+		copy(dst.Pix, src.Pix)
+		return
+	}
+	w, h := src.W, src.H
+	stride := w + 1
+	n := float64((2*k + 1) * (2*k + 1))
+	for y := 0; y < h; y++ {
+		row := dst.Pix[y*w : y*w+w]
+		if y < k || y+k >= h {
+			// Border rows keep BoxMean's clamping.
+			for x := 0; x < w; x++ {
+				row[x] = uint8(ii.BoxMean(x-k, y-k, x+k, y+k) + 0.5)
+			}
+			continue
+		}
+		top := ii.Sum[(y-k)*stride : (y-k)*stride+stride]
+		bot := ii.Sum[(y+k+1)*stride : (y+k+1)*stride+stride]
+		for x := 0; x < k && x < w; x++ {
+			row[x] = uint8(ii.BoxMean(x-k, y-k, x+k, y+k) + 0.5)
+		}
+		// Interior pixels: the (2k+1)² box never clips, so the four
+		// summed-area corners come straight off the bracketing rows with
+		// a constant divisor — same sums, same division, same rounding.
+		for x := k; x+k < w; x++ {
+			sum := bot[x+k+1] - top[x+k+1] - bot[x-k] + top[x-k]
+			row[x] = uint8(float64(sum)/n + 0.5)
+		}
+		for x := w - k; x < w; x++ {
+			if x < k {
+				continue // already emitted by the left-border loop
+			}
+			row[x] = uint8(ii.BoxMean(x-k, y-k, x+k, y+k) + 0.5)
+		}
+	}
+}
+
+// Scratch bundles the reusable buffers for the resize side of the
+// extraction hot path (the AFE bitmap compression that precedes ORB).
+// The raster returned by CompressBitmap aliases the scratch and is valid
+// until the next call.
+type Scratch struct {
+	ii  Integral
+	out Raster
+}
+
+// CompressBitmap is the allocation-free variant of CompressBitmap: same
+// proportion semantics, byte-identical output, but the result reuses the
+// scratch raster. Falls back to the allocating path for the rare shapes
+// the fast path does not cover (upscale clamps on sub-8px rasters).
+func (s *Scratch) CompressBitmap(r *Raster, c float64) *Raster {
+	if c <= 0 {
+		s.out.Reshape(r.W, r.H)
+		copy(s.out.Pix, r.Pix)
+		return &s.out
+	}
+	if c >= 0.99 {
+		c = 0.99
+	}
+	w := int(float64(r.W)*(1-c) + 0.5)
+	h := int(float64(r.H)*(1-c) + 0.5)
+	if w < 8 {
+		w = 8
+	}
+	if h < 8 {
+		h = 8
+	}
+	if w > r.W || h > r.H {
+		return Downsample(r, w, h)
+	}
+	s.ii.Reset(r)
+	DownsampleInto(&s.out, nil, r, &s.ii, w, h)
+	return &s.out
+}
