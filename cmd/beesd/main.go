@@ -7,6 +7,7 @@
 //	beesd [-addr 127.0.0.1:7700] [-state /path/to/state.bees]
 //	      [-snapshot-interval 0] [-idle-timeout 2m] [-max-conns 256]
 //	      [-max-inflight-frames 256] [-max-inflight-bytes 67108864]
+//	      [-admit-policy fifo] [-admit-low-water 0.5]
 //	      [-debug-addr 127.0.0.1:7701]
 //
 // With -state, the server restores its index from the snapshot at
@@ -18,7 +19,13 @@
 // -max-inflight-frames and -max-inflight-bytes bound the work the
 // server admits at once; past either limit it answers query/upload
 // frames with a Busy response instead of queueing them (see DESIGN.md,
-// "Fault tolerance & overload").
+// "Fault tolerance & overload"). -admit-policy selects what is shed:
+// "fifo" (the default) refuses whatever arrives while overloaded, while
+// "utility" sheds lowest-submodular-gain uploads first — past
+// -admit-low-water occupancy an upload is admitted only if the SSMM
+// marginal gain stamped in its metadata clears a rising quantile of
+// recently offered gains (see DESIGN.md, "City-scale simulation &
+// fairness-aware admission").
 //
 // With -debug-addr, the server additionally serves a JSON telemetry
 // snapshot at /debug/vars (frames, dedup hits, rejected connections,
@@ -59,10 +66,16 @@ func run() error {
 	maxConns := flag.Int("max-conns", 256, "maximum simultaneous connections")
 	maxFrames := flag.Int("max-inflight-frames", 0, "answer Busy past this many in-flight request frames (0 = default 256)")
 	maxBytes := flag.Int64("max-inflight-bytes", 0, "answer Busy past this many announced in-flight payload bytes (0 = default 64 MiB)")
+	admitPolicy := flag.String("admit-policy", "fifo", "overload shedding policy: fifo (first-come) or utility (lowest-submodular-gain uploads shed first)")
+	admitLowWater := flag.Float64("admit-low-water", 0, "occupancy fraction where the utility policy starts early-shedding low-gain uploads (0 = default 0.5)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars (JSON telemetry snapshot) and /debug/pprof on this address")
 	flag.Parse()
 	if *snapEvery > 0 && *state == "" {
 		return errors.New("-snapshot-interval needs -state")
+	}
+	policy, err := server.ParseAdmitPolicy(*admitPolicy)
+	if err != nil {
+		return err
 	}
 
 	srv := server.NewDefault()
@@ -80,6 +93,8 @@ func run() error {
 		MaxConns:          *maxConns,
 		MaxInflightFrames: *maxFrames,
 		MaxInflightBytes:  *maxBytes,
+		AdmitPolicy:       policy,
+		AdmitLowWater:     *admitLowWater,
 		Telemetry:         reg,
 	})
 	bound, err := tcp.Listen(*addr)

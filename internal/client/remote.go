@@ -73,6 +73,7 @@ func wireItems(items []server.UploadItem) []wire.UploadBatchItem {
 			GroupID: it.Meta.GroupID,
 			Lat:     it.Meta.Lat,
 			Lon:     it.Meta.Lon,
+			Gain:    it.Meta.Gain,
 			Blob:    make([]byte, it.Meta.Bytes),
 		}
 	}

@@ -220,11 +220,18 @@ func (p *Pipeline) ProcessBatch(dev *Device, srv ServerAPI, batch []*dataset.Ima
 			img := batch[chunk[k]]
 			compressed := imagelib.CompressBitmap(img.Render(), resC)
 			sizes[k] = img.SizeModel().Bytes(compressed, p.cfg.QualityProportion)
+			// Images that bypassed SSMM carry the same neutral utility
+			// (1) the outbox eviction ranking assumes below.
+			gain := 1.0
+			if g, ok := gains[chunk[k]]; ok {
+				gain = g
+			}
 			items[k] = server.UploadItem{Set: sets[chunk[k]], Meta: server.UploadMeta{
 				GroupID: img.GroupID,
 				Lat:     img.Lat,
 				Lon:     img.Lon,
 				Bytes:   sizes[k],
+				Gain:    gain,
 			}}
 		})
 		if pending != nil {

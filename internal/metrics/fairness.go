@@ -1,0 +1,28 @@
+package metrics
+
+// JainIndex computes Jain's fairness index over per-client allocations:
+//
+//	J(x) = (Σ x_i)² / (n · Σ x_i²)
+//
+// J is 1 when every client received the same amount and approaches 1/n
+// when a single client received everything, so it is the standard
+// scale-free measure of how evenly a contended resource (here: served
+// upload bytes) was divided. Negative allocations are invalid and panic;
+// an empty or all-zero vector has no meaningful fairness and returns 0.
+func JainIndex(alloc []float64) float64 {
+	if len(alloc) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range alloc {
+		if x < 0 {
+			panic("metrics: negative allocation in JainIndex")
+		}
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(alloc)) * sumSq)
+}

@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestJainIndexPinned(t *testing.T) {
+	cases := []struct {
+		name  string
+		alloc []float64
+		want  float64
+	}{
+		{"empty", nil, 0},
+		{"all_zero", []float64{0, 0, 0}, 0},
+		{"single", []float64{7}, 1},
+		{"equal", []float64{3, 3, 3, 3}, 1},
+		// One client hogs everything: J = 1/n.
+		{"monopoly", []float64{10, 0, 0, 0}, 0.25},
+		// Textbook example: (1+2+3+4+5)² / (5·55) = 225/275.
+		{"ramp", []float64{1, 2, 3, 4, 5}, 225.0 / 275.0},
+		// Half the clients served equally, half starved: J = 1/2.
+		{"half", []float64{4, 4, 0, 0}, 0.5},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := JainIndex(c.alloc)
+			if math.Abs(got-c.want) > 1e-12 {
+				t.Fatalf("JainIndex(%v) = %v, want %v", c.alloc, got, c.want)
+			}
+		})
+	}
+}
+
+func TestJainIndexPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative allocation did not panic")
+		}
+	}()
+	JainIndex([]float64{1, -1})
+}
+
+// positiveAlloc draws a non-empty vector of strictly positive finite
+// allocations for the quick properties.
+func positiveAlloc(rng *rand.Rand) []float64 {
+	n := 1 + rng.Intn(40)
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = math.Ldexp(rng.Float64()+1e-9, rng.Intn(20)-10)
+	}
+	return v
+}
+
+func TestJainIndexQuickProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(4242))}
+
+	// Range: any positive allocation has J in (0, 1].
+	inRange := func(seed int64) bool {
+		v := positiveAlloc(rand.New(rand.NewSource(seed)))
+		j := JainIndex(v)
+		return j > 0 && j <= 1+1e-12
+	}
+	if err := quick.Check(inRange, cfg); err != nil {
+		t.Fatalf("range property: %v", err)
+	}
+
+	// Permutation invariance: shuffling clients never changes fairness.
+	permInvariant := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := positiveAlloc(rng)
+		j := JainIndex(v)
+		p := append([]float64(nil), v...)
+		rng.Shuffle(len(p), func(i, k int) { p[i], p[k] = p[k], p[i] })
+		return math.Abs(JainIndex(p)-j) < 1e-12
+	}
+	if err := quick.Check(permInvariant, cfg); err != nil {
+		t.Fatalf("permutation property: %v", err)
+	}
+
+	// Equal allocation (any positive amount, any scale) is perfectly fair.
+	equalIsOne := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		x := math.Ldexp(rng.Float64()+1e-9, rng.Intn(20)-10)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = x
+		}
+		return math.Abs(JainIndex(v)-1) < 1e-12
+	}
+	if err := quick.Check(equalIsOne, cfg); err != nil {
+		t.Fatalf("equal-allocation property: %v", err)
+	}
+
+	// Scale invariance: J(c·x) = J(x).
+	scaleInvariant := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := positiveAlloc(rng)
+		c := math.Ldexp(rng.Float64()+1e-9, rng.Intn(10))
+		s := make([]float64, len(v))
+		for i := range v {
+			s[i] = c * v[i]
+		}
+		return math.Abs(JainIndex(s)-JainIndex(v)) < 1e-9
+	}
+	if err := quick.Check(scaleInvariant, cfg); err != nil {
+		t.Fatalf("scale property: %v", err)
+	}
+}

@@ -20,6 +20,10 @@ type UploadMeta struct {
 	Lon     float64
 	// Bytes is the uploaded (possibly compressed) file size.
 	Bytes int
+	// Gain is the image's submodular marginal gain from SSMM selection
+	// (0 = unranked). It rides along for utility-aware admission and the
+	// scenario harness; it is not persisted in snapshots.
+	Gain float64
 	// Global is an optional global (histogram) descriptor; metadata-based
 	// schemes like PhotoNet query it via QueryNearby.
 	Global *features.GlobalDescriptor

@@ -8,7 +8,6 @@ import (
 	"log"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"bees/internal/telemetry"
@@ -46,6 +45,16 @@ type TCPConfig struct {
 	// BusyRetryAfter is the pacing hint carried in BusyResponse; clients
 	// hold uploads that long before retrying. Default 1s.
 	BusyRetryAfter time.Duration
+	// AdmitPolicy selects how load is shed past the high-water marks:
+	// AdmitFIFO (default) refuses whatever arrives next; AdmitUtility
+	// sheds lowest-submodular-gain uploads first (see Admission).
+	AdmitPolicy AdmitPolicy
+	// AdmitLowWater is the occupancy fraction at which the utility
+	// policy starts early-shedding low-gain uploads. Default 0.5.
+	AdmitLowWater float64
+	// GainWindow sizes the utility policy's recent-gain reservoir.
+	// Default 256.
+	GainWindow int
 	// Telemetry receives the server's wire counters (frames by type,
 	// dedup hits, accepted/rejected connections, upload bytes). Nil
 	// disables instrumentation; beesd passes the registry its
@@ -93,12 +102,12 @@ type TCPServer struct {
 	dedup *uploadDedup
 	tel   *telemetry.Registry
 
-	// Load-shedding accounting: query/upload frames currently being read
-	// or handled, and the payload bytes they announced. Charged from the
-	// frame header — before the payload is read — so overload is visible
-	// while the bytes are still crossing the slow link.
-	inflightFrames atomic.Int64
-	inflightBytes  atomic.Int64
+	// adm is the load-shedding controller: query/upload frames are
+	// charged from the frame header — before the payload is read — so
+	// overload is visible while the bytes are still crossing the slow
+	// link. The same controller type backs the scenario harness, so the
+	// policies it measures are the ones running here.
+	adm *Admission
 
 	// clientTel accumulates telemetry snapshots pushed by clients
 	// (wire.TelemetryPush) so beesd's /debug endpoint can expose the
@@ -119,6 +128,14 @@ func NewTCPConfig(srv *Server, cfg TCPConfig) *TCPServer {
 		conns: make(map[net.Conn]struct{}),
 		dedup: newUploadDedup(cfg.DedupWindow),
 		tel:   cfg.Telemetry, // nil is a valid no-op sink
+		adm: NewAdmission(AdmissionConfig{
+			Policy:     cfg.AdmitPolicy,
+			MaxFrames:  cfg.MaxInflightFrames,
+			MaxBytes:   cfg.MaxInflightBytes,
+			LowWater:   cfg.AdmitLowWater,
+			GainWindow: cfg.GainWindow,
+			Telemetry:  cfg.Telemetry,
+		}),
 	}
 }
 
@@ -190,27 +207,61 @@ func (t *TCPServer) serveConn(conn net.Conn) {
 			}
 			continue
 		}
-		// Admission control: charge the announced load, then shed if the
-		// *pre-existing* load already met a high-water mark — a frame never
-		// sheds itself, so a lone client on an idle server always gets in.
-		prevFrames := t.inflightFrames.Add(1) - 1
-		prevBytes := t.inflightBytes.Add(int64(n)) - int64(n)
-		if prevFrames >= int64(t.cfg.MaxInflightFrames) || prevBytes >= t.cfg.MaxInflightBytes {
-			err := t.shed(conn, n)
-			t.inflightFrames.Add(-1)
-			t.inflightBytes.Add(int64(-n))
-			if err != nil {
-				return
-			}
-			continue
+		// Admission control: charge the announced load at the header, then
+		// let the policy decide. The decision uses the pre-existing load —
+		// a frame never sheds itself, so a lone client on an idle server
+		// always gets in.
+		tkt := t.adm.Charge(int64(n))
+		var err2 error
+		if t.adm.Policy() == AdmitUtility && uploadFrame(typ) {
+			err2 = t.admitUtility(conn, typ, n, tkt)
+		} else if t.adm.Admit(tkt, 0) {
+			err2 = t.readAndHandle(conn, typ, n)
+		} else {
+			err2 = t.shed(conn, n)
 		}
-		err = t.readAndHandle(conn, typ, n)
-		t.inflightFrames.Add(-1)
-		t.inflightBytes.Add(int64(-n))
-		if err != nil {
+		tkt.Release()
+		if err2 != nil {
 			return
 		}
 	}
+}
+
+// admitUtility handles a sheddable upload frame under the utility
+// policy: the gain that ranks the frame lives in its payload, so the
+// payload is read and decoded before the admit decision. That costs no
+// extra transfer — the peer has already committed the bytes, and the
+// FIFO shed path drains them unread anyway — only the decode, which the
+// utility knob explicitly trades for gain-aware shedding.
+func (t *TCPServer) admitUtility(conn net.Conn, typ wire.MsgType, payloadLen int, tkt *Ticket) error {
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		return err
+	}
+	msg, err := wire.DecodePayload(typ, payload)
+	if err != nil {
+		return err
+	}
+	gain := 0.0
+	switch m := msg.(type) {
+	case *wire.UploadRequest:
+		gain = m.Gain
+	case *wire.UploadBatchRequest:
+		gain = m.MaxGain()
+	}
+	if !t.adm.Admit(tkt, gain) {
+		return t.busy(conn)
+	}
+	if err := t.handle(conn, msg); err != nil {
+		log.Printf("beesd: connection error: %v", err)
+		return err
+	}
+	return nil
+}
+
+// uploadFrame reports whether a sheddable frame carries upload gains.
+func uploadFrame(typ wire.MsgType) bool {
+	return typ == wire.MsgUploadRequest || typ == wire.MsgUploadBatchRequest
 }
 
 // sheddable reports whether a frame type participates in load shedding.
@@ -233,6 +284,11 @@ func (t *TCPServer) shed(conn net.Conn, payloadLen int) error {
 	if _, err := io.CopyN(io.Discard, conn, int64(payloadLen)); err != nil {
 		return err
 	}
+	return t.busy(conn)
+}
+
+// busy answers a refused frame whose payload has already been consumed.
+func (t *TCPServer) busy(conn net.Conn) error {
 	t.tel.Counter("server.frames.busy").Inc()
 	if err := conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout)); err != nil {
 		return err
@@ -352,6 +408,7 @@ func (t *TCPServer) upload(m *wire.UploadRequest) int64 {
 		Lat:     m.Lat,
 		Lon:     m.Lon,
 		Bytes:   len(m.Blob),
+		Gain:    m.Gain,
 	}))
 	if m.Nonce != 0 {
 		t.dedup.record(m.Nonce, []int64{id})
@@ -382,6 +439,7 @@ func (t *TCPServer) uploadBatch(m *wire.UploadBatchRequest) []int64 {
 			Lat:     it.Lat,
 			Lon:     it.Lon,
 			Bytes:   len(it.Blob),
+			Gain:    it.Gain,
 		}}
 		bytes += int64(len(it.Blob))
 		t.tel.Histogram("server.upload.blob_bytes", telemetry.SizeBuckets()).Observe(int64(len(it.Blob)))

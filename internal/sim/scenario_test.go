@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"bees/internal/server"
+	"bees/internal/telemetry"
+)
+
+var updateScenario = flag.Bool("update", false, "rewrite testdata/scenario.golden")
+
+// cityConfig is the checked-in 1000-device scenario: heavy-tailed demand
+// into a server provisioned well under the offered load, so admission
+// genuinely sheds.
+func cityConfig(seed int64, policy server.AdmitPolicy) ScenarioConfig {
+	return ScenarioConfig{
+		Seed:     seed,
+		Devices:  1000,
+		Duration: 3 * time.Minute,
+		Admission: server.AdmissionConfig{
+			Policy: policy,
+		},
+	}
+}
+
+// TestScenarioCityScaleDeterministic replays a 1000-device city run and
+// requires byte-identical metrics JSON — across runs and across
+// GOMAXPROCS values, since the harness is a single-goroutine virtual
+// clock and must not observe the scheduler.
+func TestScenarioCityScaleDeterministic(t *testing.T) {
+	cfg := cityConfig(42, server.AdmitUtility)
+	first := RunScenario(cfg).JSON()
+	if again := RunScenario(cfg).JSON(); !bytes.Equal(first, again) {
+		t.Fatal("same seed produced different reports across runs")
+	}
+	prev := runtime.GOMAXPROCS(1)
+	serial := RunScenario(cfg).JSON()
+	runtime.GOMAXPROCS(prev)
+	if !bytes.Equal(first, serial) {
+		t.Fatal("report differs between GOMAXPROCS values")
+	}
+
+	r := RunScenario(cfg)
+	if r.Devices != 1000 || len(r.Clients) != 1000 {
+		t.Fatalf("expected 1000 clients, got %d/%d", r.Devices, len(r.Clients))
+	}
+	if r.ServedChunks == 0 || r.ShedChunks == 0 {
+		t.Fatalf("city scenario must both serve and shed (served %d, shed %d)", r.ServedChunks, r.ShedChunks)
+	}
+	if r.ServerImages != r.ServedChunks || r.ServerBytes != r.ServedBytes {
+		t.Fatalf("server accounting diverged: images %d vs served %d, bytes %d vs %d",
+			r.ServerImages, r.ServedChunks, r.ServerBytes, r.ServedBytes)
+	}
+	if r.Arrived != r.ServedChunks+r.ShedChunks {
+		t.Fatalf("arrivals %d != served %d + shed %d", r.Arrived, r.ServedChunks, r.ShedChunks)
+	}
+	if r.JainServedBytes <= 0 || r.JainServedBytes > 1 {
+		t.Fatalf("Jain index %v out of (0,1]", r.JainServedBytes)
+	}
+	if r.FreshnessP99Ms < r.FreshnessP50Ms {
+		t.Fatalf("p99 freshness %v below p50 %v", r.FreshnessP99Ms, r.FreshnessP50Ms)
+	}
+}
+
+// TestScenarioGolden pins a smaller run's full report against a golden
+// fixture so cross-version drift in any RNG draw, event ordering, or
+// metric is caught, not just run-to-run variance. Regenerate with
+//
+//	go test ./internal/sim -run TestScenarioGolden -update
+func TestScenarioGolden(t *testing.T) {
+	cfg := ScenarioConfig{
+		Seed:     7,
+		Devices:  100,
+		Duration: 2 * time.Minute,
+		Admission: server.AdmissionConfig{
+			Policy: server.AdmitUtility,
+		},
+	}
+	got := RunScenario(cfg).JSON()
+	path := filepath.Join("testdata", "scenario.golden")
+	if *updateScenario {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("scenario report drifted from %s (rerun with -update if intended); got %d bytes, want %d",
+			path, len(got), len(want))
+	}
+}
+
+// TestScenarioDifferentialUtilityVsFIFO runs the identical city — same
+// seed, same fleet, same links, same byte budget — under both admission
+// policies. Utility-aware admission must not lose to FIFO on either
+// Jain fairness of served bytes or submodular (unique-cell) coverage,
+// and must buy that without exceeding FIFO's service budget.
+func TestScenarioDifferentialUtilityVsFIFO(t *testing.T) {
+	fifo := RunScenario(cityConfig(42, server.AdmitFIFO))
+	util := RunScenario(cityConfig(42, server.AdmitUtility))
+
+	if fifo.ShedChunks == 0 || util.ShedChunks == 0 {
+		t.Fatalf("differential needs contention: fifo shed %d, utility shed %d",
+			fifo.ShedChunks, util.ShedChunks)
+	}
+	if fifo.CapturedChunks != util.CapturedChunks || fifo.CapturedBytes != util.CapturedBytes {
+		t.Fatalf("offered load must be identical across policies: %d/%d chunks, %d/%d bytes",
+			fifo.CapturedChunks, util.CapturedChunks, fifo.CapturedBytes, util.CapturedBytes)
+	}
+	if util.JainServedBytes < fifo.JainServedBytes {
+		t.Errorf("utility Jain %0.4f < fifo Jain %0.4f", util.JainServedBytes, fifo.JainServedBytes)
+	}
+	if util.Coverage < fifo.Coverage {
+		t.Errorf("utility coverage %0.4f < fifo coverage %0.4f", util.Coverage, fifo.Coverage)
+	}
+	// Same byte budget: both policies drain the same ServiceBps pipe with
+	// identical high-water marks, so utility's gains cannot come from
+	// serving meaningfully more bytes.
+	lo, hi := float64(fifo.ServedBytes)*0.9, float64(fifo.ServedBytes)*1.1
+	if sb := float64(util.ServedBytes); sb < lo || sb > hi {
+		t.Errorf("utility served %d bytes vs fifo %d — budgets diverged past 10%%",
+			util.ServedBytes, fifo.ServedBytes)
+	}
+	t.Logf("fifo: jain %0.4f coverage %0.4f shed %0.3f p99 %0.0fms",
+		fifo.JainServedBytes, fifo.Coverage, fifo.ShedRate, fifo.FreshnessP99Ms)
+	t.Logf("util: jain %0.4f coverage %0.4f shed %0.3f p99 %0.0fms",
+		util.JainServedBytes, util.Coverage, util.ShedRate, util.FreshnessP99Ms)
+}
+
+// TestScenarioConcurrentRuns drives four ~50-device scenarios in
+// parallel — two per policy, all feeding one shared telemetry registry
+// so the admission and scenario counters race across goroutines (tier2's
+// race detector turns this into a proof). Same-policy runs must still be
+// byte-identical: concurrency outside the harness cannot leak in.
+func TestScenarioConcurrentRuns(t *testing.T) {
+	tel := telemetry.NewRegistry()
+	mk := func(policy server.AdmitPolicy) ScenarioConfig {
+		return ScenarioConfig{
+			Seed:     99,
+			Devices:  50,
+			Duration: 2 * time.Minute,
+			Admission: server.AdmissionConfig{
+				Policy: policy,
+			},
+			Telemetry: tel,
+		}
+	}
+	cfgs := []ScenarioConfig{
+		mk(server.AdmitFIFO), mk(server.AdmitFIFO),
+		mk(server.AdmitUtility), mk(server.AdmitUtility),
+	}
+	reports := make([]*ScenarioReport, len(cfgs))
+	var wg sync.WaitGroup
+	for i := range cfgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i] = RunScenario(cfgs[i])
+		}(i)
+	}
+	wg.Wait()
+
+	if !bytes.Equal(reports[0].JSON(), reports[1].JSON()) {
+		t.Fatal("concurrent FIFO runs diverged")
+	}
+	if !bytes.Equal(reports[2].JSON(), reports[3].JSON()) {
+		t.Fatal("concurrent utility runs diverged")
+	}
+	var captured int64
+	for _, r := range reports {
+		captured += int64(r.CapturedChunks)
+	}
+	snap := tel.Snapshot()
+	if got := snap.Counters["sim.scenario.captured"]; got != captured {
+		t.Fatalf("shared registry counted %d captures, reports say %d", got, captured)
+	}
+	if snap.Counters["server.admit.admitted"] == 0 {
+		t.Fatal("shared registry saw no admissions")
+	}
+}

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"bees/internal/baseline"
+)
+
+// TestRunLifetimeEdgeCases table-drives the boundary behavior of the
+// Fig. 9 battery-lifetime loop.
+func TestRunLifetimeEdgeCases(t *testing.T) {
+	base := LifetimeConfig{
+		Seed:       910,
+		Groups:     4,
+		PerGroup:   4,
+		Redundancy: 0.5,
+		Interval:   time.Minute,
+		BitrateBps: 256000,
+		BatteryJ:   6000,
+	}
+	cases := []struct {
+		name   string
+		mutate func(*LifetimeConfig)
+		check  func(t *testing.T, res LifetimeResult)
+	}{
+		{
+			name:   "battery dies mid first group",
+			mutate: func(c *LifetimeConfig) { c.BatteryJ = 1 },
+			check: func(t *testing.T, res LifetimeResult) {
+				if res.GroupsUploaded != 0 {
+					t.Fatalf("a battery that dies mid-group must not count the group: got %d", res.GroupsUploaded)
+				}
+				if res.Lifetime <= 0 {
+					t.Fatalf("lifetime %v, want > 0 (work happened before the death)", res.Lifetime)
+				}
+				last := res.Series[len(res.Series)-1]
+				if last.Ebat != 0 || last.Time != res.Lifetime {
+					t.Fatalf("series must end at (lifetime, 0), got (%v, %v)", last.Time, last.Ebat)
+				}
+				if len(res.Series) != 2 {
+					t.Fatalf("series should hold only the start and the death, got %d points", len(res.Series))
+				}
+			},
+		},
+		{
+			name:   "battery dies mid run",
+			mutate: func(c *LifetimeConfig) { c.BatteryJ = 1200; c.Groups = 50 },
+			check: func(t *testing.T, res LifetimeResult) {
+				if res.GroupsUploaded == 0 || res.GroupsUploaded >= 50 {
+					t.Fatalf("mid-run death should upload some but not all groups, got %d", res.GroupsUploaded)
+				}
+				if res.Series[len(res.Series)-1].Ebat != 0 {
+					t.Fatalf("series must end empty, got %v", res.Series[len(res.Series)-1].Ebat)
+				}
+			},
+		},
+		{
+			name:   "zero redundancy seeds no twins",
+			mutate: func(c *LifetimeConfig) { c.Redundancy = 0 },
+			check: func(t *testing.T, res LifetimeResult) {
+				if res.GroupsUploaded != 4 {
+					t.Fatalf("with an ample battery all %d groups upload, got %d", 4, res.GroupsUploaded)
+				}
+				if res.Lifetime < 4*time.Minute {
+					t.Fatalf("lifetime %v shorter than the %d idle intervals", res.Lifetime, 4)
+				}
+				if len(res.Series) != 5 {
+					t.Fatalf("series should sample start + one point per group, got %d", len(res.Series))
+				}
+			},
+		},
+		{
+			name:   "zero-value interval and bitrate take defaults",
+			mutate: func(c *LifetimeConfig) { c.Interval = 0; c.BitrateBps = 0; c.Groups = 1 },
+			check: func(t *testing.T, res LifetimeResult) {
+				if res.GroupsUploaded != 1 {
+					t.Fatalf("defaulted config should still run, got %d groups", res.GroupsUploaded)
+				}
+				// The 20-minute default interval dominates the virtual clock.
+				if res.Lifetime < 20*time.Minute {
+					t.Fatalf("lifetime %v, want >= the 20m default interval", res.Lifetime)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mutate(&cfg)
+			tc.check(t, RunLifetime(baseline.Direct{}, cfg))
+		})
+	}
+}
+
+// TestRunLifetimeZeroValueDefaultsMatchExplicit proves the zero-value
+// Interval/BitrateBps path is the documented default, not merely "some
+// value": the defaulted run must reproduce the explicit one bit for bit.
+func TestRunLifetimeZeroValueDefaultsMatchExplicit(t *testing.T) {
+	zero := LifetimeConfig{Seed: 911, Groups: 2, PerGroup: 3, Redundancy: 0.5, BatteryJ: 6000}
+	explicit := zero
+	explicit.Interval = 20 * time.Minute
+	explicit.BitrateBps = 256000
+	a := RunLifetime(baseline.Direct{}, zero)
+	b := RunLifetime(baseline.Direct{}, explicit)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("zero-value defaults diverge from explicit values:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestRunCoverageEdgeCases table-drives the Fig. 12 fleet loop's
+// boundaries.
+func TestRunCoverageEdgeCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   CoverageConfig
+		check func(t *testing.T, res CoverageResult)
+	}{
+		{
+			// More phones than images: the fleet split must not index past
+			// the image set, and idle phones must not hang the loop.
+			name: "phones exceed images",
+			cfg: CoverageConfig{
+				Seed: 912, Phones: 8, PerGroup: 3, Images: 5, Locations: 5,
+				Interval: time.Minute, BitrateBps: 256000, BatteryJ: 2500,
+			},
+			check: func(t *testing.T, res CoverageResult) {
+				if res.TotalImages != 5 {
+					t.Fatalf("imageset should hold 5 images, got %d", res.TotalImages)
+				}
+				if res.Uploaded == 0 || res.Uploaded > 5 {
+					t.Fatalf("uploaded %d of 5 images", res.Uploaded)
+				}
+				if res.UniqueLocations > res.TotalLocations {
+					t.Fatalf("unique locations %d exceed the set's %d", res.UniqueLocations, res.TotalLocations)
+				}
+			},
+		},
+		{
+			// Batteries too small to finish: the run must still terminate
+			// with partial coverage.
+			name: "batteries die before images run out",
+			cfg: CoverageConfig{
+				Seed: 913, Phones: 2, PerGroup: 4, Images: 400, Locations: 140,
+				Interval: time.Minute, BitrateBps: 256000, BatteryJ: 60,
+			},
+			check: func(t *testing.T, res CoverageResult) {
+				if res.Uploaded >= res.TotalImages {
+					t.Fatalf("dying fleet should not cover everything: %d of %d", res.Uploaded, res.TotalImages)
+				}
+			},
+		},
+		{
+			name: "zero-value interval and bitrate take defaults",
+			cfg: CoverageConfig{
+				Seed: 914, Phones: 2, PerGroup: 4, Images: 12, Locations: 9, BatteryJ: 2500,
+			},
+			check: func(t *testing.T, res CoverageResult) {
+				if res.Uploaded == 0 {
+					t.Fatal("defaulted config uploaded nothing")
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.check(t, RunCoverage(baseline.Direct{}, tc.cfg))
+		})
+	}
+}

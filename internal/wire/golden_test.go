@@ -43,6 +43,7 @@ func goldenFrames() []struct {
 			GroupID: -7,
 			Lat:     35.6812,
 			Lon:     139.7671,
+			Gain:    0.625,
 			Blob:    []byte("blob-bytes"),
 		}},
 		{"upload_response", &UploadResponse{ID: 42}},
@@ -54,7 +55,7 @@ func goldenFrames() []struct {
 		{"upload_batch_request", &UploadBatchRequest{
 			Nonce: 0x0123456789abcdef,
 			Items: []UploadBatchItem{
-				{Set: set, GroupID: 3, Lat: -1.5, Lon: 2.25, Blob: []byte("first")},
+				{Set: set, GroupID: 3, Lat: -1.5, Lon: 2.25, Gain: 1.75, Blob: []byte("first")},
 				{Set: &features.BinarySet{}, GroupID: -9, Blob: nil},
 			},
 		}},

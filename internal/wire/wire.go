@@ -97,6 +97,11 @@ type UploadRequest struct {
 	GroupID int64
 	Lat     float64
 	Lon     float64
+	// Gain is the image's submodular marginal gain from SSMM selection.
+	// A utility-aware server sheds lowest-gain uploads first under
+	// overload; 0 means unranked, which always falls back to the FIFO
+	// shedding rule (so legacy clients are unaffected by the policy).
+	Gain float64
 	// Blob is the (compressed) image payload. Only its bytes matter to
 	// the server's accounting; the prototype ships the real payload to
 	// exercise the transport.
@@ -114,6 +119,10 @@ type UploadBatchItem struct {
 	GroupID int64
 	Lat     float64
 	Lon     float64
+	// Gain is the item's submodular marginal gain (see
+	// UploadRequest.Gain); a utility-aware server ranks the whole frame
+	// by its highest item gain.
+	Gain float64
 	// Blob is the (compressed) image payload; only its length matters to
 	// the server's accounting.
 	Blob []byte
@@ -129,6 +138,19 @@ type UploadBatchItem struct {
 type UploadBatchRequest struct {
 	Nonce uint64
 	Items []UploadBatchItem
+}
+
+// MaxGain returns the highest item gain in the batch — the frame-level
+// utility a gain-aware admission policy ranks by (0 when every item is
+// unranked).
+func (m *UploadBatchRequest) MaxGain() float64 {
+	best := 0.0
+	for i := range m.Items {
+		if g := m.Items[i].Gain; g > best {
+			best = g
+		}
+	}
+	return best
 }
 
 // UploadBatchResponse acknowledges an UploadBatchRequest with one
@@ -397,6 +419,7 @@ func encodeUploadRequest(m *UploadRequest) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.GroupID))
 	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.Lat))
 	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.Lon))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.Gain))
 	set := m.Set
 	if set == nil {
 		set = &features.BinarySet{}
@@ -414,6 +437,7 @@ func encodeUploadBatchRequest(m *UploadBatchRequest) []byte {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(it.GroupID))
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(it.Lat))
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(it.Lon))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(it.Gain))
 		set := it.Set
 		if set == nil {
 			set = &features.BinarySet{}
@@ -425,9 +449,9 @@ func encodeUploadBatchRequest(m *UploadBatchRequest) []byte {
 	return buf
 }
 
-// minUploadBatchItemBytes is the smallest encodable item: three u64
+// minUploadBatchItemBytes is the smallest encodable item: four u64
 // fields, an empty descriptor set header, an empty blob header.
-const minUploadBatchItemBytes = 8 + 8 + 8 + 4 + 4
+const minUploadBatchItemBytes = 8 + 8 + 8 + 8 + 4 + 4
 
 func decodeUploadBatchRequest(payload []byte) (*UploadBatchRequest, error) {
 	if len(payload) < 12 {
@@ -444,15 +468,16 @@ func decodeUploadBatchRequest(payload []byte) (*UploadBatchRequest, error) {
 	}
 	req.Items = make([]UploadBatchItem, 0, prealloc)
 	for i := 0; i < n; i++ {
-		if len(payload) < 24 {
+		if len(payload) < 32 {
 			return nil, errors.New("wire: truncated upload batch item")
 		}
 		it := UploadBatchItem{
 			GroupID: int64(binary.LittleEndian.Uint64(payload)),
 			Lat:     math.Float64frombits(binary.LittleEndian.Uint64(payload[8:])),
 			Lon:     math.Float64frombits(binary.LittleEndian.Uint64(payload[16:])),
+			Gain:    math.Float64frombits(binary.LittleEndian.Uint64(payload[24:])),
 		}
-		set, rest, err := decodeSet(payload[24:])
+		set, rest, err := decodeSet(payload[32:])
 		if err != nil {
 			return nil, err
 		}
@@ -499,7 +524,7 @@ func decodeUploadBatchResponse(payload []byte) (*UploadBatchResponse, error) {
 }
 
 func decodeUploadRequest(payload []byte) (*UploadRequest, error) {
-	if len(payload) < 32 {
+	if len(payload) < 40 {
 		return nil, errors.New("wire: truncated upload request")
 	}
 	req := &UploadRequest{
@@ -507,8 +532,9 @@ func decodeUploadRequest(payload []byte) (*UploadRequest, error) {
 		GroupID: int64(binary.LittleEndian.Uint64(payload[8:])),
 		Lat:     math.Float64frombits(binary.LittleEndian.Uint64(payload[16:])),
 		Lon:     math.Float64frombits(binary.LittleEndian.Uint64(payload[24:])),
+		Gain:    math.Float64frombits(binary.LittleEndian.Uint64(payload[32:])),
 	}
-	set, rest, err := decodeSet(payload[32:])
+	set, rest, err := decodeSet(payload[40:])
 	if err != nil {
 		return nil, err
 	}
