@@ -21,7 +21,7 @@ help:
 	@echo "make fuzz       - FUZZTIME (default 10s) on each fuzz target"
 	@echo "make bench      - micro-benchmarks -> BENCH_pipeline.json"
 	@echo "make benchdiff  - compare gated benches: OLD=old.json [NEW=BENCH_pipeline.json]"
-	@echo "make cover      - per-package coverage; floors: internal/features $(COVER_FLOOR_FEATURES)%, internal/imagelib $(COVER_FLOOR_IMAGELIB)%, internal/sim $(COVER_FLOOR_SIM)%"
+	@echo "make cover      - per-package coverage; floors: internal/features $(COVER_FLOOR_FEATURES)%, internal/imagelib $(COVER_FLOOR_IMAGELIB)%, internal/sim $(COVER_FLOOR_SIM)%, internal/blockstore $(COVER_FLOOR_BLOCKSTORE)%"
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,8 @@ tier2: fuzz
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzReadFrame -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzBlockManifest -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzBlockPut -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/server -run '^$$' -fuzz FuzzLoadSnapshot -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/features -run '^$$' -fuzz FuzzMatchBinary -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/features -run '^$$' -fuzz FuzzExtractORB -fuzztime $(FUZZTIME)
@@ -70,6 +72,7 @@ bench:
 	  $(GO) test ./internal/imagelib -run '^$$' -bench 'Encoded' -benchmem >> "$$tmp"; \
 	  $(GO) test ./internal/index -run '^$$' -bench . -benchmem >> "$$tmp"; \
 	  $(GO) test ./internal/core -run '^$$' -bench . -benchmem -benchtime 5x >> "$$tmp"; \
+	  $(GO) test ./internal/blockstore -run '^$$' -bench . -benchmem >> "$$tmp"; \
 	  $(GO) run ./cmd/bench2json < "$$tmp" > BENCH_pipeline.json
 	@echo "wrote BENCH_pipeline.json"
 
@@ -77,8 +80,9 @@ bench:
 # change (cp BENCH_pipeline.json old.json), re-run `make bench` after
 # it, then `make benchdiff OLD=old.json`: any gated benchmark (Match /
 # Jaccard / Prepare / BatchGraph / QueryMax, plus the extraction and
-# codec hot path: Extract / DetectFAST / Encoded / Pipeline) more than
-# 15% slower in ns/op fails the target.
+# codec hot path: Extract / DetectFAST / Encoded / Pipeline, plus the
+# delta-upload hot path: Block / Resume) more than 15% slower in ns/op
+# fails the target.
 NEW ?= BENCH_pipeline.json
 benchdiff:
 	@test -n "$(OLD)" || { echo "usage: make benchdiff OLD=old.json [NEW=new.json]"; exit 2; }
@@ -89,13 +93,16 @@ benchdiff:
 # extraction fast path and their oracles; internal/imagelib holds the
 # codec/resize primitives the extraction arena reuses; internal/sim
 # holds the lifetime/coverage experiments and the city-scale scenario
-# harness whose determinism the replay gate depends on. Each floor sits
-# a few points under its measured line (features 94.6%, imagelib 94.3%,
-# sim 97.1%) to absorb counting drift without letting real erosion
-# through.
+# harness whose determinism the replay gate depends on;
+# internal/blockstore holds the content-addressed store the delta-upload
+# protocol's exactly-once guarantees rest on. Each floor sits a few
+# points under its measured line (features 94.6%, imagelib 94.3%, sim
+# 97.1%, blockstore 95.6%) to absorb counting drift without letting real
+# erosion through.
 COVER_FLOOR_FEATURES ?= 91
 COVER_FLOOR_IMAGELIB ?= 85
 COVER_FLOOR_SIM ?= 92
+COVER_FLOOR_BLOCKSTORE ?= 90
 cover:
 	@set -e; out=$$($(GO) test -cover ./... ) || { echo "$$out"; exit 1; }; \
 	  echo "$$out"; \
@@ -108,4 +115,5 @@ cover:
 	  }; \
 	  check internal/features $(COVER_FLOOR_FEATURES); \
 	  check internal/imagelib $(COVER_FLOOR_IMAGELIB); \
-	  check internal/sim $(COVER_FLOOR_SIM)
+	  check internal/sim $(COVER_FLOOR_SIM); \
+	  check internal/blockstore $(COVER_FLOOR_BLOCKSTORE)

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"bees/internal/baseline"
+	"bees/internal/blockstore"
 	"bees/internal/client"
 	"bees/internal/core"
 	"bees/internal/dataset"
@@ -57,6 +58,30 @@ type (
 	Telemetry = telemetry.Registry
 	// UploadItem is one image in a batched server upload.
 	UploadItem = server.UploadItem
+	// Uploader is the unified nonce-carrying upload surface implemented
+	// by both the in-process Server and the TCP RemoteServer adapter;
+	// replays under the same nonce are exactly-once.
+	Uploader = core.Uploader
+	// BlockStoreConfig parameterizes the content-addressed block store
+	// behind delta uploads (block size, telemetry sink).
+	BlockStoreConfig = blockstore.Config
+	// BlockStore is the refcounted content-addressed block store itself,
+	// reachable from a Server via its Blocks accessor.
+	BlockStore = blockstore.Store
+)
+
+// Telemetry counter names of the block-transfer path, re-exported so
+// API users can read them from snapshots without importing internals.
+// Server side: blocks stored/staged and the bytes deduplication saved.
+// Client side: blocks queried, sent, and skipped because the server
+// already held them.
+const (
+	MetricBlockPutBlocks      = "blockstore.put.blocks"
+	MetricBlockPutBytes       = "blockstore.put.bytes"
+	MetricBlockDupBlocks      = "blockstore.put.dup_blocks"
+	MetricBlockDedupBytes     = "blockstore.dedup.bytes"
+	MetricClientBlocksSent    = "client.blocks.sent"
+	MetricClientBlocksSkipped = "client.blocks.skipped"
 )
 
 // Energy categories of BatchReport.Energy, re-exported for breakdowns.

@@ -121,8 +121,12 @@ func run() error {
 	remote := client.NewRemoteServer(c)
 	if box != nil && box.Len() > 0 {
 		// Replay the previous run's backlog before generating new load.
+		// UploadItems resumes block-wise when the server speaks blocks:
+		// blocks that landed before the partition are skipped, only the
+		// rest are resent, and the commit dedups under the chunk's nonce.
 		drainer := outbox.NewDrainer(box, func(ch *outbox.Chunk) error {
-			return remote.UploadBatchWithNonce(ch.Nonce, ch.Items)
+			_, err := remote.UploadItems(ch.Nonce, ch.Items)
+			return err
 		})
 		if n, err := drainer.DrainOnce(); n > 0 || err != nil {
 			fmt.Printf("outbox: replayed %d leftover chunks (%v)\n", n, errOrOK(err))
@@ -156,7 +160,8 @@ func run() error {
 		// drain pass now that the batch load is off the link; whatever
 		// still fails stays on disk for the next invocation.
 		drainer := outbox.NewDrainer(box, func(ch *outbox.Chunk) error {
-			return remote.UploadBatchWithNonce(ch.Nonce, ch.Items)
+			_, err := remote.UploadItems(ch.Nonce, ch.Items)
+			return err
 		})
 		if n, err := drainer.DrainOnce(); n > 0 || err != nil {
 			fmt.Printf("outbox: replayed %d chunks (%v)\n", n, errOrOK(err))
@@ -165,6 +170,12 @@ func run() error {
 	if m := c.Metrics(); m.Retries > 0 || m.Redials > 0 || m.BusyHolds > 0 || m.BreakerTrips > 0 {
 		fmt.Printf("transport: %d retries, %d redials, %d busy holds, %d breaker trips (state %s)\n",
 			m.Retries, m.Redials, m.BusyHolds, m.BreakerTrips, breakerStateName(m.BreakerState))
+	}
+	if snap := reg.Snapshot(); snap.Counters["client.blocks.queried"] > 0 {
+		fmt.Printf("blocks: %d queried, %d sent (%.2f MB), %d already on server (%.2f MB saved)\n",
+			snap.Counters["client.blocks.queried"],
+			snap.Counters["client.blocks.sent"], mbf(int(snap.Counters["client.blocks.sent_bytes"])),
+			snap.Counters["client.blocks.skipped"], mbf(int(snap.Counters["client.blocks.skipped_bytes"])))
 	}
 	if box != nil {
 		st := box.Stats()

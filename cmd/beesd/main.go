@@ -8,7 +8,13 @@
 //	      [-snapshot-interval 0] [-idle-timeout 2m] [-max-conns 256]
 //	      [-max-inflight-frames 256] [-max-inflight-bytes 67108864]
 //	      [-admit-policy fifo] [-admit-low-water 0.5]
-//	      [-debug-addr 127.0.0.1:7701]
+//	      [-debug-addr 127.0.0.1:7701] [-blocks=true]
+//
+// -blocks controls Hello feature negotiation for content-addressed
+// block transfer (delta uploads; see DESIGN.md, "Content-addressed
+// block store"). With -blocks=false the server stops advertising the
+// feature and block-aware clients transparently fall back to
+// whole-image frames.
 //
 // With -state, the server restores its index from the snapshot at
 // startup and writes it back on shutdown, so redundancy detection
@@ -69,6 +75,7 @@ func run() error {
 	admitPolicy := flag.String("admit-policy", "fifo", "overload shedding policy: fifo (first-come) or utility (lowest-submodular-gain uploads shed first)")
 	admitLowWater := flag.Float64("admit-low-water", 0, "occupancy fraction where the utility policy starts early-shedding low-gain uploads (0 = default 0.5)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars (JSON telemetry snapshot) and /debug/pprof on this address")
+	blocks := flag.Bool("blocks", true, "advertise content-addressed block transfer in Hello negotiation (-blocks=false forces clients onto whole-image uploads)")
 	flag.Parse()
 	if *snapEvery > 0 && *state == "" {
 		return errors.New("-snapshot-interval needs -state")
@@ -78,7 +85,8 @@ func run() error {
 		return err
 	}
 
-	srv := server.NewDefault()
+	reg := telemetry.NewRegistry()
+	srv := server.NewWithConfig(server.Config{Telemetry: reg})
 	if *state != "" {
 		if err := srv.LoadSnapshotFile(*state); err != nil {
 			return fmt.Errorf("restore %s: %w", *state, err)
@@ -87,7 +95,6 @@ func run() error {
 			fmt.Printf("restored %d images from %s\n", st.Images, *state)
 		}
 	}
-	reg := telemetry.NewRegistry()
 	tcp := server.NewTCPConfig(srv, server.TCPConfig{
 		IdleTimeout:       *idle,
 		MaxConns:          *maxConns,
@@ -96,6 +103,7 @@ func run() error {
 		AdmitPolicy:       policy,
 		AdmitLowWater:     *admitLowWater,
 		Telemetry:         reg,
+		DisableBlocks:     !*blocks,
 	})
 	bound, err := tcp.Listen(*addr)
 	if err != nil {
@@ -129,6 +137,10 @@ func run() error {
 	<-sig
 	st := srv.Stats()
 	fmt.Printf("shutting down: %d images, %d bytes received\n", st.Images, st.BytesReceived)
+	if bst := srv.Blocks().Stats(); bst.Blocks > 0 {
+		fmt.Printf("block store: %d blocks, %d bytes stored, %d bytes logical (dedup saved %d)\n",
+			bst.Blocks, bst.Bytes, bst.LogicalBytes, bst.LogicalBytes-bst.Bytes)
+	}
 	switch {
 	case stopAutoSave != nil:
 		stopAutoSave() // takes the final snapshot itself

@@ -55,8 +55,9 @@ type document struct {
 // the matcher prepared/reference pairs in features, core, and index
 // (Match / Jaccard / Prepare / BatchGraph / QueryMax) plus, since the
 // extraction fast path landed, the extraction and codec hot path
-// (Extract / DetectFAST / Encoded / Pipeline).
-const defaultMatch = `Match|Jaccard|Prepare|BatchGraph|QueryMax|Extract|DetectFAST|Encoded|Pipeline`
+// (Extract / DetectFAST / Encoded / Pipeline), plus, since delta upload
+// landed, the block store's dedup and resume paths (Block / Resume).
+const defaultMatch = `Match|Jaccard|Prepare|BatchGraph|QueryMax|Extract|DetectFAST|Encoded|Pipeline|Block|Resume`
 
 func main() {
 	compare := flag.Bool("compare", false,

@@ -1,0 +1,102 @@
+package client
+
+import (
+	"fmt"
+
+	"bees/internal/blockstore"
+	"bees/internal/wire"
+)
+
+// Block-transfer RPCs: the client side of the delta-upload protocol
+// (see internal/wire/blocks.go for the frame flow). NegotiateBlocks
+// gates everything — a server that never answers Hello, or answers
+// without the feature bit, keeps the client on whole-image frames.
+
+// NegotiateBlocks performs (or recalls) the Hello feature exchange and
+// reports whether both ends speak block transfer. A successful exchange
+// is cached for the client's lifetime — server capabilities don't
+// change mid-connection — while a transport failure is NOT cached: an
+// old server drops the connection on the unknown Hello frame, which
+// surfaces here as an exhausted-retries error, and the caller falls
+// back to whole-image frames for that call only.
+func (c *Client) NegotiateBlocks() (bool, error) {
+	if c.opts.DisableBlocks {
+		return false, nil
+	}
+	c.featMu.Lock()
+	if c.featNegotiated {
+		feats := c.serverFeatures
+		c.featMu.Unlock()
+		return feats&wire.FeatureBlocks != 0, nil
+	}
+	c.featMu.Unlock()
+
+	resp, err := c.roundTrip(&wire.Hello{
+		Version:  wire.ProtocolVersion,
+		Features: wire.FeatureBlocks,
+	})
+	if err != nil {
+		return false, err
+	}
+	h, ok := resp.(*wire.Hello)
+	if !ok {
+		return false, fmt.Errorf("client: unexpected response %T", resp)
+	}
+	c.featMu.Lock()
+	c.featNegotiated = true
+	c.serverFeatures = h.Features
+	c.featMu.Unlock()
+	return h.Features&wire.FeatureBlocks != 0, nil
+}
+
+// QueryBlocks asks which of the given blocks the server already holds,
+// one bool per hash in order.
+func (c *Client) QueryBlocks(hashes []blockstore.Hash) ([]bool, error) {
+	resp, err := c.roundTrip(&wire.BlockQuery{Hashes: hashes})
+	if err != nil {
+		return nil, err
+	}
+	qr, ok := resp.(*wire.BlockQueryResponse)
+	if !ok {
+		return nil, fmt.Errorf("client: unexpected response %T", resp)
+	}
+	if len(qr.Have) != len(hashes) {
+		return nil, fmt.Errorf("client: got %d block bits for %d hashes", len(qr.Have), len(hashes))
+	}
+	c.blocksQueried.Add(int64(len(hashes)))
+	return qr.Have, nil
+}
+
+// PutBlocks uploads blocks for staging on the server. Blocks are
+// idempotent by content address, so a retried frame costs bandwidth but
+// can never corrupt state — the server just reports them as duplicates.
+func (c *Client) PutBlocks(blocks []wire.Block) (stored, dup uint32, err error) {
+	resp, err := c.roundTrip(&wire.BlockPut{Blocks: blocks})
+	if err != nil {
+		return 0, 0, err
+	}
+	pr, ok := resp.(*wire.BlockPutResponse)
+	if !ok {
+		return 0, 0, fmt.Errorf("client: unexpected response %T", resp)
+	}
+	return pr.Stored, pr.Dup, nil
+}
+
+// CommitManifests finalizes a delta upload under the caller's nonce
+// (see UploadBatchNonce for the replay semantics — commits join the
+// same server-side dedup window as whole-image batches). It returns the
+// server-assigned IDs in item order.
+func (c *Client) CommitManifests(nonce uint64, items []wire.ManifestItem) ([]int64, error) {
+	resp, err := c.roundTrip(&wire.ManifestCommit{Nonce: nonce, Items: items})
+	if err != nil {
+		return nil, err
+	}
+	cr, ok := resp.(*wire.ManifestCommitResponse)
+	if !ok {
+		return nil, fmt.Errorf("client: unexpected response %T", resp)
+	}
+	if len(cr.IDs) != len(items) {
+		return nil, fmt.Errorf("client: got %d ids for %d committed items", len(cr.IDs), len(items))
+	}
+	return cr.IDs, nil
+}

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"bees/internal/blockstore"
 	"bees/internal/features"
 	"bees/internal/telemetry"
 	"bees/internal/wire"
@@ -86,6 +87,18 @@ type Options struct {
 	// Nil gives the client a private registry, which Metrics reads, so
 	// the accessor works either way.
 	Telemetry *telemetry.Registry
+	// BlockSize is the content-addressed block granularity for delta
+	// uploads; it must match what resumed transfers used or their blocks
+	// won't be found. 0 selects blockstore.DefaultBlockSize (128 KiB).
+	BlockSize int
+	// BlockPutBytes caps the approximate payload of one BlockPut frame;
+	// smaller frames ack more often, which is what makes a severed
+	// transfer resumable mid-image. Default 4 MiB.
+	BlockPutBytes int
+	// DisableBlocks skips Hello negotiation entirely and forces the
+	// whole-image upload path, as if the server never advertised the
+	// feature.
+	DisableBlocks bool
 }
 
 func (o Options) withDefaults() Options {
@@ -118,6 +131,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBusyWaits <= 0 {
 		o.MaxBusyWaits = 8
+	}
+	if o.BlockSize <= 0 {
+		o.BlockSize = blockstore.DefaultBlockSize
+	}
+	if o.BlockPutBytes <= 0 {
+		o.BlockPutBytes = 4 << 20
 	}
 	if o.Seed == 0 {
 		o.Seed = rand.Int63()
@@ -190,6 +209,21 @@ type Client struct {
 	// failures open it, and server BusyResponses park the next attempt
 	// through it.
 	breaker *breaker
+
+	// featMu guards the cached Hello negotiation result. A successful
+	// exchange is cached for the client's lifetime; a transport failure
+	// leaves it unset so the next upload re-probes.
+	featMu         sync.Mutex
+	featNegotiated bool
+	serverFeatures uint64
+
+	// Block-transfer counters (see blocks.go), resolved once like the
+	// transport counters above.
+	blocksQueried      *telemetry.Counter
+	blocksSent         *telemetry.Counter
+	blocksSentBytes    *telemetry.Counter
+	blocksSkipped      *telemetry.Counter
+	blocksSkippedBytes *telemetry.Counter
 }
 
 // Dial connects to a beesd server with default fault tolerance; timeout
@@ -206,16 +240,21 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 func DialOptions(addr string, opts Options) (*Client, error) {
 	opts = opts.withDefaults()
 	c := &Client{
-		addr:     addr,
-		opts:     opts,
-		rng:      rand.New(rand.NewSource(opts.Seed)),
-		closeCh:  make(chan struct{}),
+		addr:      addr,
+		opts:      opts,
+		rng:       rand.New(rand.NewSource(opts.Seed)),
+		closeCh:   make(chan struct{}),
 		dials:     opts.Telemetry.Counter("client.dials"),
 		retries:   opts.Telemetry.Counter("client.retries"),
 		requests:  opts.Telemetry.Counter("client.requests"),
 		busyHolds: opts.Telemetry.Counter("client.busy_holds"),
 		breaker: newBreaker(opts.BreakerThreshold, opts.BreakerCooldown,
 			opts.BreakerCooldownMax, opts.Seed+1, opts.Telemetry),
+		blocksQueried:      opts.Telemetry.Counter("client.blocks.queried"),
+		blocksSent:         opts.Telemetry.Counter("client.blocks.sent"),
+		blocksSentBytes:    opts.Telemetry.Counter("client.blocks.sent_bytes"),
+		blocksSkipped:      opts.Telemetry.Counter("client.blocks.skipped"),
+		blocksSkippedBytes: opts.Telemetry.Counter("client.blocks.skipped_bytes"),
 	}
 	if opts.LazyDial {
 		return c, nil

@@ -1,9 +1,13 @@
 package client
 
 import (
+	"encoding/binary"
+	"hash/fnv"
 	"log"
+	"math"
 	"sync"
 
+	"bees/internal/blockstore"
 	"bees/internal/features"
 	"bees/internal/index"
 	"bees/internal/server"
@@ -60,7 +64,12 @@ func (r *RemoteServer) UploadBatch(items []server.UploadItem) error {
 
 // wireItems converts server upload items to their wire form; each item's
 // blob is a payload of exactly Meta.Bytes bytes so the transport carries
-// the real (compressed) image size.
+// the real (compressed) image size. The bytes are synthesized
+// deterministically from the item's identity (descriptors + metadata),
+// which is what makes delta upload testable end to end: the same image
+// produces the same blob — and therefore the same block hashes — on
+// every client and every outbox replay, while distinct images produce
+// distinct payloads that cannot cross-dedup.
 func wireItems(items []server.UploadItem) []wire.UploadBatchItem {
 	out := make([]wire.UploadBatchItem, len(items))
 	for i, it := range items {
@@ -74,28 +83,150 @@ func wireItems(items []server.UploadItem) []wire.UploadBatchItem {
 			Lat:     it.Meta.Lat,
 			Lon:     it.Meta.Lon,
 			Gain:    it.Meta.Gain,
-			Blob:    make([]byte, it.Meta.Bytes),
+			Blob:    blockstore.SynthPayload(itemSeed(&it), it.Meta.Bytes),
 		}
 	}
 	return out
 }
 
-// NewUploadNonce implements core.NonceUploader: the pipeline stamps each
+// itemSeed folds an item's identity — feature descriptors plus the
+// metadata that defines "the same image" — into the synthesis seed.
+// Gain is deliberately excluded: it is a per-run ranking artifact, not
+// part of the image.
+func itemSeed(it *server.UploadItem) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	w(uint64(it.Meta.GroupID))
+	w(math.Float64bits(it.Meta.Lat))
+	w(math.Float64bits(it.Meta.Lon))
+	w(uint64(it.Meta.Bytes))
+	if it.Set != nil {
+		for _, d := range it.Set.Descriptors {
+			for _, word := range d {
+				w(word)
+			}
+		}
+	}
+	return h.Sum64()
+}
+
+// NewUploadNonce implements core.Uploader: the pipeline stamps each
 // upload chunk with a nonce before the first attempt so a later outbox
 // replay of the same chunk dedups against it.
 func (r *RemoteServer) NewUploadNonce() uint64 { return r.c.NewNonce() }
 
-// UploadBatchWithNonce implements core.NonceUploader: one batched-upload
-// frame under the caller's nonce. Used both for the pipeline's first
-// attempt on an outbox-tracked chunk and for the drainer's replays.
-// Failures degrade the whole chunk (no partial frames here).
-func (r *RemoteServer) UploadBatchWithNonce(nonce uint64, items []server.UploadItem) error {
-	if _, err := r.c.UploadBatchNonce(nonce, wireItems(items)); err != nil {
+// UploadItems implements core.Uploader: one upload chunk under the
+// caller's nonce. When Hello negotiation says both ends speak block
+// transfer, the chunk goes as a delta upload (query → put missing →
+// commit); otherwise — old server, negotiation disabled, or the Hello
+// itself failed in transit — it falls back to a single whole-image
+// batch frame. Either way the nonce makes replays idempotent, so an
+// outbox replay of a chunk that half-landed resumes from the blocks the
+// server acked instead of resending the image. Failures degrade the
+// whole chunk (commits and batch frames are atomic).
+func (r *RemoteServer) UploadItems(nonce uint64, items []server.UploadItem) ([]int64, error) {
+	wi := wireItems(items)
+	blocks, err := r.c.NegotiateBlocks()
+	if err != nil {
+		log.Printf("beesctl: feature negotiation failed, using whole-image upload: %v", err)
+		blocks = false
+	}
+	var ids []int64
+	if blocks {
+		ids, err = r.uploadBlocks(nonce, wi)
+	} else {
+		ids, err = r.c.UploadBatchNonce(nonce, wi)
+	}
+	if err != nil {
 		r.degradeN(err, len(items))
 		log.Printf("beesctl: nonce upload of %d items failed: %v", len(items), err)
-		return err
+		return nil, err
 	}
-	return nil
+	return ids, nil
+}
+
+// UploadBatchWithNonce is the pre-block-store upload entry point.
+//
+// Deprecated: use UploadItems, which also returns the assigned IDs.
+func (r *RemoteServer) UploadBatchWithNonce(nonce uint64, items []server.UploadItem) error {
+	_, err := r.UploadItems(nonce, items)
+	return err
+}
+
+// uploadBlocks runs one chunk through the delta path: manifest every
+// blob, ask the server which blocks it already holds (batch-wide dedup
+// — two identical images in one chunk cost one payload), upload the
+// missing ones in put frames bounded by Options.BlockPutBytes, then
+// commit the manifests under the chunk's nonce.
+func (r *RemoteServer) uploadBlocks(nonce uint64, items []wire.UploadBatchItem) ([]int64, error) {
+	blockSize := r.c.opts.BlockSize
+	manifests := make([]wire.ManifestItem, len(items))
+	var hashes []blockstore.Hash
+	blockData := make(map[blockstore.Hash][]byte)
+	for i := range items {
+		it := &items[i]
+		m := blockstore.ManifestOf(it.Blob, blockSize)
+		manifests[i] = wire.ManifestItem{
+			Set:        it.Set,
+			GroupID:    it.GroupID,
+			Lat:        it.Lat,
+			Lon:        it.Lon,
+			Gain:       it.Gain,
+			TotalBytes: m.TotalBytes,
+			BlockSize:  uint32(m.BlockSize),
+			Hashes:     m.Hashes,
+		}
+		parts := blockstore.Split(it.Blob, blockSize)
+		for j, h := range m.Hashes {
+			if _, ok := blockData[h]; !ok {
+				blockData[h] = parts[j]
+				hashes = append(hashes, h)
+			}
+		}
+	}
+	if len(hashes) > 0 {
+		have, err := r.c.QueryBlocks(hashes)
+		if err != nil {
+			return nil, err
+		}
+		var put []wire.Block
+		putBytes := 0
+		flush := func() error {
+			if len(put) == 0 {
+				return nil
+			}
+			if _, _, err := r.c.PutBlocks(put); err != nil {
+				return err
+			}
+			r.c.blocksSent.Add(int64(len(put)))
+			r.c.blocksSentBytes.Add(int64(putBytes))
+			put, putBytes = put[:0], 0
+			return nil
+		}
+		for i, h := range hashes {
+			data := blockData[h]
+			if have[i] {
+				r.c.blocksSkipped.Inc()
+				r.c.blocksSkippedBytes.Add(int64(len(data)))
+				continue
+			}
+			if len(put) > 0 && putBytes+len(data) > r.c.opts.BlockPutBytes {
+				if err := flush(); err != nil {
+					return nil, err
+				}
+			}
+			put = append(put, wire.Block{Hash: h, Data: data})
+			putBytes += len(data)
+		}
+		if err := flush(); err != nil {
+			return nil, err
+		}
+	}
+	return r.c.CommitManifests(nonce, manifests)
 }
 
 // QueryMax is the legacy per-image query, kept for per-image callers

@@ -61,10 +61,15 @@ func TestBatchRoundTripsBounded(t *testing.T) {
 	if batched.Degraded != 0 {
 		t.Fatalf("latency-only link degraded %d requests", batched.Degraded)
 	}
-	// One CBRD query frame plus one upload frame per AIU window of the
-	// default pipeline config.
+	// One CBRD query frame, one Hello (feature negotiation, cached for
+	// the client's lifetime), then per AIU window the delta upload costs
+	// a block query, at most one put frame (a window's payload fits well
+	// under the default BlockPutBytes), and a manifest commit. Still
+	// O(1) per window — the delta path spends its savings in bytes, not
+	// round trips.
 	window := core.DefaultConfig().UploadWindow
-	maxTrips := int64(1 + (batched.Uploaded+window-1)/window)
+	windows := (batched.Uploaded + window - 1) / window
+	maxTrips := int64(2 + 3*windows)
 	if batchedTrips > maxTrips {
 		t.Fatalf("batched pipeline used %d round trips for %d images (%d uploads), want <= %d",
 			batchedTrips, total, batched.Uploaded, maxTrips)

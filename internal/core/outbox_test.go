@@ -12,9 +12,9 @@ import (
 	"bees/internal/telemetry"
 )
 
-// flakyAPI is a ServerAPI + NonceUploader whose uploads fail while
-// `down` is set. Queries always answer 0 (all unique) so every image
-// reaches the upload stage.
+// flakyAPI is a ServerAPI + Uploader whose uploads fail while `down` is
+// set. Queries always answer 0 (all unique) so every image reaches the
+// upload stage.
 type flakyAPI struct {
 	mu     sync.Mutex
 	down   bool
@@ -41,7 +41,7 @@ func (f *flakyAPI) NewUploadNonce() uint64 {
 	return f.nonce
 }
 
-func (f *flakyAPI) UploadBatchWithNonce(nonce uint64, items []server.UploadItem) error {
+func (f *flakyAPI) UploadItems(nonce uint64, items []server.UploadItem) ([]int64, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.upcall = append(f.upcall, struct {
@@ -49,10 +49,15 @@ func (f *flakyAPI) UploadBatchWithNonce(nonce uint64, items []server.UploadItem)
 		n     int
 	}{nonce, len(items)})
 	if f.down {
-		return errors.New("flaky: link down")
+		return nil, errors.New("flaky: link down")
 	}
 	f.applied += len(items)
-	return nil
+	return make([]int64, len(items)), nil
+}
+
+func (f *flakyAPI) UploadBatchWithNonce(nonce uint64, items []server.UploadItem) error {
+	_, err := f.UploadItems(nonce, items)
+	return err
 }
 
 // TestPipelineOutboxCapturesFailedChunks runs a batch through a dead
@@ -138,9 +143,12 @@ func TestPipelineOutboxCapturesFailedChunks(t *testing.T) {
 	}
 }
 
-// TestPipelineWithoutOutboxKeepsLegacyPath: no outbox configured means
-// the plain UploadBatch path (no nonce draws) and errors still counted.
-func TestPipelineWithoutOutboxKeepsLegacyPath(t *testing.T) {
+// TestPipelineWithoutOutboxStillStampsNonces: an outbox is not what
+// makes uploads nonce-carrying — any Uploader transport gets a nonce
+// per chunk (so client-level retries dedup server-side and the remote
+// path can delta-upload), and failed chunks are counted even though
+// there is nowhere to spool them.
+func TestPipelineWithoutOutboxStillStampsNonces(t *testing.T) {
 	if testing.Short() {
 		t.Skip("renders an 8-image batch")
 	}
@@ -158,12 +166,16 @@ func TestPipelineWithoutOutboxKeepsLegacyPath(t *testing.T) {
 	}
 	api.mu.Lock()
 	for _, call := range api.upcall {
-		if call.nonce != 0 {
-			t.Fatalf("outbox-less pipeline drew nonce %d", call.nonce)
+		if call.nonce == 0 {
+			t.Fatal("outbox-less pipeline sent an upload without a nonce")
 		}
 	}
 	api.mu.Unlock()
-	if got := tel.Snapshot().Counters["pipeline.upload.errors"]; got == 0 {
+	snap := tel.Snapshot()
+	if got := snap.Counters["pipeline.upload.errors"]; got == 0 {
 		t.Fatal("upload errors not counted without an outbox")
+	}
+	if got := snap.Counters["pipeline.outbox.enqueued"]; got != 0 {
+		t.Fatalf("outbox-less pipeline enqueued %d chunks", got)
 	}
 }

@@ -49,8 +49,8 @@ type Config struct {
 	Telemetry *telemetry.Registry
 	// Outbox, when set, catches upload chunks whose retry budget was
 	// exhausted: instead of being dropped, the chunk (items + the nonce
-	// the attempt carried, when the transport implements NonceUploader)
-	// is queued for background replay once the link heals. Chunks are
+	// the attempt carried, when the transport implements Uploader) is
+	// queued for background replay once the link heals. Chunks are
 	// stamped with their summed SSMM marginal gains so overflow evicts
 	// the least-valuable imagery first.
 	Outbox *outbox.Outbox
@@ -202,7 +202,7 @@ func (p *Pipeline) ProcessBatch(dev *Device, srv ServerAPI, batch []*dataset.Ima
 	span = tel.StartSpan("aiu.upload")
 	uploadHist := tel.Histogram("pipeline.upload.bytes", telemetry.SizeBuckets())
 	box := p.cfg.Outbox
-	nu, hasNonce := srv.(NonceUploader)
+	up, hasUp := srv.(Uploader)
 	var pending chan struct{}
 	// Upload goroutines run one at a time (chunk k is joined via pending
 	// before chunk k+1 starts), so plain appends to uploadErrs are
@@ -256,17 +256,20 @@ func (p *Pipeline) ProcessBatch(dev *Device, srv ServerAPI, batch []*dataset.Ima
 		done := make(chan struct{})
 		go func() {
 			defer close(done)
-			// With an outbox and a nonce-capable transport, the chunk's
-			// first attempt already carries the nonce a replay will reuse.
-			// The nonce is drawn here, inside the upload goroutine, because
-			// the client serializes nonce draws with in-flight round trips —
-			// drawing it on the main goroutine would stall compression of
-			// the next chunk behind this chunk's upload.
+			// A nonce-capable transport always gets a nonce-stamped upload:
+			// the nonce makes a client-level retry (or a later outbox
+			// replay of this chunk, when an outbox is configured) dedup
+			// server-side instead of double-counting, and it is what routes
+			// a RemoteServer through the delta-upload path. The nonce is
+			// drawn here, inside the upload goroutine, because the client
+			// serializes nonce draws with in-flight round trips — drawing
+			// it on the main goroutine would stall compression of the next
+			// chunk behind this chunk's upload.
 			var err error
 			var nonce uint64
-			if box != nil && hasNonce {
-				nonce = nu.NewUploadNonce()
-				err = nu.UploadBatchWithNonce(nonce, items)
+			if hasUp {
+				nonce = up.NewUploadNonce()
+				_, err = up.UploadItems(nonce, items)
 			} else {
 				err = srv.UploadBatch(items)
 			}

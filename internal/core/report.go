@@ -30,12 +30,30 @@ type ServerAPI interface {
 
 var _ ServerAPI = (*server.Server)(nil)
 
-// NonceUploader is an optional ServerAPI extension for transports whose
-// server deduplicates uploads by nonce (the beesd wire path). When the
-// pipeline runs with an outbox, it draws the nonce itself and stamps the
-// queued chunk with it on failure, so a later replay of the chunk dedups
-// against the original attempt — exactly-once accounting even when the
-// first attempt landed but its response was lost to the partition.
+// Uploader is the nonce-carrying upload surface, the one interface both
+// the in-process server and the TCP adapter implement: the caller draws
+// a nonce, stamps its outbox chunk with it, and every (re)send of that
+// chunk — whole-image frame or block-wise delta upload, the transport
+// decides — deduplicates server-side against the first delivery. This
+// replaces the UploadBatch/UploadBatchNonce/UploadBatchWithNonce split:
+// one entry point, exactly-once semantics, IDs returned in item order.
+type Uploader interface {
+	// NewUploadNonce draws a fresh nonzero nonce.
+	NewUploadNonce() uint64
+	// UploadItems stores the items under the caller's nonce and returns
+	// the server-assigned IDs in item order. Same error semantics as
+	// ServerAPI.UploadBatch: an error means transport failure and the
+	// whole chunk may be replayed under the same nonce.
+	UploadItems(nonce uint64, items []server.UploadItem) ([]int64, error)
+}
+
+var _ Uploader = (*server.Server)(nil)
+
+// NonceUploader is the pre-Uploader name for the same idea, minus the
+// returned IDs.
+//
+// Deprecated: implement Uploader instead; the pipeline prefers it and
+// only falls back to this shape through compatibility wrappers.
 type NonceUploader interface {
 	// NewUploadNonce draws a fresh nonzero nonce.
 	NewUploadNonce() uint64

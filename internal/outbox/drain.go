@@ -9,9 +9,12 @@ import (
 // chunk, attempts the upload, and acks on success; on failure it backs
 // off and retries — the chunk stays queued, so nothing is lost if the
 // process dies mid-drain. The replay function should send the chunk's
-// items in a single batched upload frame carrying the chunk's original
-// Nonce (client.UploadBatchNonce via core.NonceUploader), so a chunk the
-// server already applied is deduplicated instead of double-counted.
+// items in one upload carrying the chunk's original Nonce
+// (core.Uploader.UploadItems, implemented by client.RemoteServer), so a
+// chunk the server already applied is deduplicated instead of
+// double-counted — and when both ends speak block transfer, a chunk
+// that half-landed before a partition resumes from the blocks the
+// server acked instead of resending whole images.
 type Drainer struct {
 	box *Outbox
 	fn  func(c *Chunk) error

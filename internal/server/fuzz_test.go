@@ -10,6 +10,8 @@ import (
 	"path/filepath"
 	"strconv"
 	"testing"
+
+	"bees/internal/blockstore"
 )
 
 var updateFuzzCorpus = flag.Bool("update-fuzz-corpus", false,
@@ -36,6 +38,27 @@ func corpusSnapshots(tb testing.TB) [][]byte {
 		save(func(s *Server) {
 			for i, set := range sets {
 				s.Upload(set, UploadMeta{GroupID: int64(i), Bytes: 50 * i, Lat: float64(i)})
+			}
+		}),
+		// v2 block section: one staged (refs=0) and one committed block.
+		save(func(s *Server) {
+			blob := blockstore.SynthPayload(320, 600)
+			m := blockstore.ManifestOf(blob, 256)
+			for i, b := range blockstore.Split(blob, 256) {
+				if _, err := s.Blocks().Put(m.Hashes[i], b); err != nil {
+					tb.Fatal(err)
+				}
+			}
+			staged := blockstore.SynthPayload(321, 100)
+			if _, err := s.Blocks().Put(blockstore.HashBlock(staged), staged); err != nil {
+				tb.Fatal(err)
+			}
+			if _, err := s.CommitManifests([]ManifestUpload{{
+				Set:      sets[1],
+				Meta:     UploadMeta{GroupID: 2, Bytes: int(m.TotalBytes)},
+				Manifest: m,
+			}}); err != nil {
+				tb.Fatal(err)
 			}
 		}),
 	}
@@ -109,6 +132,15 @@ func FuzzLoadSnapshot(f *testing.F) {
 		0, 0, 0, 0, 0, 0, 0, 0, // received
 		0, 0, 0, 0, 0, 0, 0, 0, // nextID
 		0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, // count
+	))
+	// Valid empty v2 stream announcing 2^64-1 blocks.
+	f.Add(append([]byte("BEES"),
+		2, 0, 0, 0, 0, 0, 0, 0, // version
+		0, 0, 0, 0, 0, 0, 0, 0, // received
+		0, 0, 0, 0, 0, 0, 0, 0, // nextID
+		0, 0, 0, 0, 0, 0, 0, 0, // count
+		0, 0, 0, 0, 0, 0, 0, 0, // uploads
+		0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, // blocks
 	))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		srv := NewDefault()

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"bees/internal/blockstore"
 	"bees/internal/features"
 	"bees/internal/index"
 )
@@ -19,10 +20,18 @@ import (
 // index and upload counters to disk. The format is a versioned binary
 // stream: header, counters, then one record per indexed entry
 // (id, group, geotag, optional global histogram, descriptors).
+// Version 2 appends the content-addressed block store — one record per
+// block (hash, refcount, length, data), hash-sorted — so delta uploads
+// keep deduplicating across a restart. Version-1 snapshots still load
+// (empty block store).
 
 var snapshotMagic = [4]byte{'B', 'E', 'E', 'S'}
 
-const snapshotVersion = 1
+const snapshotVersion = 2
+
+// maxSnapshotBlockBytes caps the per-block length a snapshot may
+// announce, bounding decode-time allocation against corrupt streams.
+const maxSnapshotBlockBytes = blockstore.MaxBlockSize
 
 // errBadSnapshot reports a corrupt or incompatible snapshot stream.
 var errBadSnapshot = errors.New("server: bad snapshot")
@@ -90,6 +99,25 @@ func (s *Server) SaveSnapshot(w io.Writer) error {
 		writeU64(math.Float64bits(m.Lon))
 		writeU64(uint64(m.Bytes))
 	}
+	// Block store section (v2): hash-sorted for deterministic bytes, so
+	// identical state always snapshots identically.
+	nBlocks := uint64(0)
+	s.blocks.ForEachSorted(func(blockstore.Hash, int64, []byte) { nBlocks++ })
+	writeU64(nBlocks)
+	s.blocks.ForEachSorted(func(h blockstore.Hash, refs int64, data []byte) {
+		if saveErr != nil {
+			return
+		}
+		if _, err := bw.Write(h[:]); err != nil {
+			saveErr = err
+			return
+		}
+		writeU64(uint64(refs))
+		writeU64(uint64(len(data)))
+		if saveErr == nil {
+			_, saveErr = bw.Write(data)
+		}
+	})
 	if saveErr != nil {
 		return fmt.Errorf("server: write snapshot: %w", saveErr)
 	}
@@ -107,7 +135,7 @@ func (s *Server) LoadSnapshot(r io.Reader) error {
 	// seeds would silently interleave IDs) must refuse a load just like
 	// one that has taken uploads.
 	s.mu.Lock()
-	dirty := len(s.uploads) > 0 || s.nextID != 0 || s.idx.Len() > 0
+	dirty := len(s.uploads) > 0 || s.nextID != 0 || s.idx.Len() > 0 || s.blocks.Len() > 0
 	s.mu.Unlock()
 	if dirty {
 		return errors.New("server: LoadSnapshot requires a fresh server")
@@ -126,7 +154,7 @@ func (s *Server) LoadSnapshot(r io.Reader) error {
 		return v, err
 	}
 	version, err := readU64()
-	if err != nil || version != snapshotVersion {
+	if err != nil || version < 1 || version > snapshotVersion {
 		return errBadSnapshot
 	}
 	received, err := readU64()
@@ -216,6 +244,36 @@ func (s *Server) LoadSnapshot(r io.Reader) error {
 			Lon:     math.Float64frombits(lonBits),
 			Bytes:   int(bytes),
 		})
+	}
+	if version < 2 {
+		return nil
+	}
+	nBlocks, err := readU64()
+	if err != nil {
+		return errBadSnapshot
+	}
+	for i := uint64(0); i < nBlocks; i++ {
+		var h blockstore.Hash
+		if _, err := io.ReadFull(br, h[:]); err != nil {
+			return errBadSnapshot
+		}
+		refs, err := readU64()
+		if err != nil || int64(refs) < 0 {
+			return errBadSnapshot
+		}
+		n, err := readU64()
+		if err != nil || n > maxSnapshotBlockBytes {
+			return errBadSnapshot
+		}
+		data := make([]byte, n)
+		if _, err := io.ReadFull(br, data); err != nil {
+			return errBadSnapshot
+		}
+		// Restore re-verifies hash-over-data, so a block corrupted on
+		// disk fails the load instead of poisoning the store.
+		if err := s.blocks.Restore(h, int64(refs), data); err != nil {
+			return fmt.Errorf("%w: block %d: %v", errBadSnapshot, i, err)
+		}
 	}
 	return nil
 }

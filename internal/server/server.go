@@ -5,8 +5,11 @@
 package server
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"bees/internal/blockstore"
 	"bees/internal/features"
 	"bees/internal/index"
 	"bees/internal/par"
@@ -50,6 +53,9 @@ type Config struct {
 	// Telemetry receives the server's index counters (queries, uploads).
 	// Nil disables instrumentation.
 	Telemetry *telemetry.Registry
+	// BlockSize is the content-addressed block granularity for the block
+	// store (see internal/blockstore). 0 selects the 128 KiB default.
+	BlockSize int
 }
 
 // Server is a thread-safe cloud server.
@@ -57,6 +63,8 @@ type Server struct {
 	mu       sync.Mutex
 	idx      *index.Index
 	tel      *telemetry.Registry
+	blocks   *blockstore.Store
+	nonceSeq atomic.Uint64
 	nextID   index.ImageID
 	received int64
 	uploads  []index.ImageID
@@ -77,7 +85,14 @@ func NewWithConfig(cfg Config) *Server {
 	if cfg.Index == (index.Config{}) {
 		cfg.Index = index.DefaultConfig()
 	}
-	return &Server{idx: index.New(cfg.Index), tel: cfg.Telemetry}
+	return &Server{
+		idx: index.New(cfg.Index),
+		tel: cfg.Telemetry,
+		blocks: blockstore.NewStore(blockstore.Config{
+			BlockSize: cfg.BlockSize,
+			Telemetry: cfg.Telemetry,
+		}),
+	}
 }
 
 // NewDefault creates a server with the default index configuration.
@@ -234,4 +249,59 @@ func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{Images: len(s.uploads), BytesReceived: s.received}
+}
+
+// Blocks exposes the server's content-addressed block store: the TCP
+// layer stages incoming blocks here and CommitManifests pins them.
+func (s *Server) Blocks() *blockstore.Store { return s.blocks }
+
+// NewUploadNonce returns a fresh non-zero nonce. Together with
+// UploadItems this makes *Server satisfy core.Uploader, so the pipeline
+// drives the in-process and remote servers through one interface.
+func (s *Server) NewUploadNonce() uint64 { return s.nonceSeq.Add(1) }
+
+// UploadItems stores a batch under a client-chosen nonce. In process
+// there is no retry path — every call is a first delivery — so the
+// nonce is accepted and ignored; exactly-once holds by construction.
+func (s *Server) UploadItems(_ uint64, items []UploadItem) ([]int64, error) {
+	raw := s.UploadBatchIDs(items)
+	ids := make([]int64, len(raw))
+	for i, id := range raw {
+		ids[i] = int64(id)
+	}
+	return ids, nil
+}
+
+// ManifestUpload is one image arriving by manifest rather than by blob:
+// the metadata and feature set as usual, plus the block manifest whose
+// payload must already be fully staged in the block store.
+type ManifestUpload struct {
+	Set      *features.BinarySet
+	Meta     UploadMeta
+	Manifest blockstore.Manifest
+}
+
+// CommitManifests completes a delta upload: it verifies every named
+// block is present, pins the blocks (refcount +1 per manifest), then
+// stores the images through the exact accounting path whole-image
+// uploads take — Meta.Bytes must equal Manifest.TotalBytes, so a batch
+// uploaded by blocks is byte-identical in Stats to one uploaded whole.
+// On any missing block nothing is committed and nothing is stored.
+func (s *Server) CommitManifests(ups []ManifestUpload) ([]index.ImageID, error) {
+	manifests := make([]blockstore.Manifest, len(ups))
+	items := make([]UploadItem, len(ups))
+	for i := range ups {
+		if err := ups[i].Manifest.Validate(); err != nil {
+			return nil, fmt.Errorf("server: manifest %d: %w", i, err)
+		}
+		if got, want := int64(ups[i].Meta.Bytes), ups[i].Manifest.TotalBytes; got != want {
+			return nil, fmt.Errorf("server: manifest %d: meta bytes %d != manifest total %d", i, got, want)
+		}
+		manifests[i] = ups[i].Manifest
+		items[i] = UploadItem{Set: ups[i].Set, Meta: ups[i].Meta}
+	}
+	if err := s.blocks.Commit(manifests...); err != nil {
+		return nil, err
+	}
+	return s.UploadBatchIDs(items), nil
 }

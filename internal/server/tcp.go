@@ -60,6 +60,12 @@ type TCPConfig struct {
 	// disables instrumentation; beesd passes the registry its
 	// -debug-addr endpoint serves.
 	Telemetry *telemetry.Registry
+	// DisableBlocks withholds the block-transfer feature from Hello
+	// negotiation: clients fall back to whole-image frames. Block frames
+	// arriving anyway (a client skipping negotiation) are still served —
+	// the flag gates advertisement, not capability — so operators can
+	// stage a rollback without stranding mid-transfer clients.
+	DisableBlocks bool
 }
 
 func (c TCPConfig) withDefaults() TCPConfig {
@@ -248,6 +254,8 @@ func (t *TCPServer) admitUtility(conn net.Conn, typ wire.MsgType, payloadLen int
 		gain = m.Gain
 	case *wire.UploadBatchRequest:
 		gain = m.MaxGain()
+	case *wire.ManifestCommit:
+		gain = m.MaxGain()
 	}
 	if !t.adm.Admit(tkt, gain) {
 		return t.busy(conn)
@@ -261,16 +269,20 @@ func (t *TCPServer) admitUtility(conn net.Conn, typ wire.MsgType, payloadLen int
 
 // uploadFrame reports whether a sheddable frame carries upload gains.
 func uploadFrame(typ wire.MsgType) bool {
-	return typ == wire.MsgUploadRequest || typ == wire.MsgUploadBatchRequest
+	return typ == wire.MsgUploadRequest || typ == wire.MsgUploadBatchRequest ||
+		typ == wire.MsgManifestCommit
 }
 
 // sheddable reports whether a frame type participates in load shedding.
 // Only the work-carrying requests do: stats, telemetry pushes, and
 // responses stay cheap and must keep flowing so operators can observe an
-// overloaded server.
+// overloaded server. Hello is deliberately exempt — refusing negotiation
+// would push clients onto the *more* expensive whole-image path exactly
+// when the server is overloaded.
 func sheddable(typ wire.MsgType) bool {
 	switch typ {
-	case wire.MsgQueryRequest, wire.MsgUploadRequest, wire.MsgUploadBatchRequest:
+	case wire.MsgQueryRequest, wire.MsgUploadRequest, wire.MsgUploadBatchRequest,
+		wire.MsgBlockQuery, wire.MsgBlockPut, wire.MsgManifestCommit:
 		return true
 	}
 	return false
@@ -348,6 +360,30 @@ func (t *TCPServer) handle(conn net.Conn, msg any) error {
 			Images:        int64(st.Images),
 			BytesReceived: st.BytesReceived,
 		})
+	case *wire.Hello:
+		t.tel.Counter("server.frames.hello").Inc()
+		feats := uint64(wire.FeatureBlocks)
+		if t.cfg.DisableBlocks {
+			feats = 0
+		}
+		return wire.WriteFrame(conn, &wire.Hello{
+			Version:  wire.ProtocolVersion,
+			Features: feats,
+		})
+	case *wire.BlockQuery:
+		t.tel.Counter("server.frames.block_query").Inc()
+		return wire.WriteFrame(conn, &wire.BlockQueryResponse{
+			Have: t.srv.Blocks().HaveBitmap(m.Hashes),
+		})
+	case *wire.BlockPut:
+		t.tel.Counter("server.frames.block_put").Inc()
+		return t.blockPut(conn, m)
+	case *wire.ManifestCommit:
+		span := t.tel.StartSpan("server.manifest_commit")
+		resp := t.manifestCommit(m)
+		span.End()
+		t.tel.Counter("server.frames.manifest_commit").Inc()
+		return wire.WriteFrame(conn, resp)
 	case *wire.TelemetryPush:
 		t.tel.Counter("server.frames.telemetry").Inc()
 		var s telemetry.Snapshot
@@ -414,6 +450,80 @@ func (t *TCPServer) upload(m *wire.UploadRequest) int64 {
 		t.dedup.record(m.Nonce, []int64{id})
 	}
 	return id
+}
+
+// blockPut stages incoming blocks. A corrupt block (hash mismatch)
+// answers with an error but keeps the connection: the bytes crossed a
+// lossy link and the client will resend after re-querying. Duplicate
+// blocks are acked as stored-elsewhere so resumed transfers converge.
+func (t *TCPServer) blockPut(conn net.Conn, m *wire.BlockPut) error {
+	var stored, dup uint32
+	var bytes int64
+	for i := range m.Blocks {
+		b := &m.Blocks[i]
+		ok, err := t.srv.Blocks().Put(b.Hash, b.Data)
+		if err != nil {
+			return wire.WriteFrame(conn, &wire.ErrorResponse{
+				Message: fmt.Sprintf("block %s: %v", b.Hash.Short(), err),
+			})
+		}
+		if ok {
+			stored++
+			bytes += int64(len(b.Data))
+		} else {
+			dup++
+		}
+	}
+	t.tel.Counter("server.upload.bytes").Add(bytes)
+	return wire.WriteFrame(conn, &wire.BlockPutResponse{Stored: stored, Dup: dup})
+}
+
+// manifestCommit finalizes a delta upload exactly once per nonce,
+// through the same dedup window the whole-image paths use: a retried
+// commit whose response was lost replays the original IDs without
+// double-pinning blocks or double-counting bytes. A missing block (the
+// client raced a query, or a put was shed) answers with an error; the
+// client re-queries, fills the gap, and retries the commit under the
+// same nonce.
+func (t *TCPServer) manifestCommit(m *wire.ManifestCommit) any {
+	if m.Nonce != 0 {
+		if ids, ok := t.dedup.lookup(m.Nonce); ok {
+			t.tel.Counter("server.upload.dedup_hits").Inc()
+			return &wire.ManifestCommitResponse{IDs: ids}
+		}
+	}
+	ups := make([]ManifestUpload, len(m.Items))
+	for i := range m.Items {
+		it := &m.Items[i]
+		set := it.Set
+		if set.Len() == 0 {
+			set = nil
+		}
+		ups[i] = ManifestUpload{
+			Set: set,
+			Meta: UploadMeta{
+				GroupID: it.GroupID,
+				Lat:     it.Lat,
+				Lon:     it.Lon,
+				Bytes:   int(it.TotalBytes),
+				Gain:    it.Gain,
+			},
+			Manifest: it.Manifest(),
+		}
+	}
+	raw, err := t.srv.CommitManifests(ups)
+	if err != nil {
+		return &wire.ErrorResponse{Message: err.Error()}
+	}
+	ids := make([]int64, len(raw))
+	for i, id := range raw {
+		ids[i] = int64(id)
+	}
+	t.tel.Counter("server.upload.batch_items").Add(int64(len(ids)))
+	if m.Nonce != 0 && len(ids) > 0 {
+		t.dedup.record(m.Nonce, ids)
+	}
+	return &wire.ManifestCommitResponse{IDs: ids}
 }
 
 // uploadBatch applies a batched upload exactly once per nonce. The frame

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"bees/internal/blockstore"
 	"bees/internal/features"
 )
 
@@ -33,6 +34,13 @@ func FuzzReadFrame(f *testing.F) {
 		&StatsResponse{Images: 3, BytesReceived: 12345},
 		&ErrorResponse{Message: "boom"},
 		&BusyResponse{RetryAfterMs: 250},
+		&Hello{Version: ProtocolVersion, Features: FeatureBlocks},
+		&BlockQuery{Hashes: []blockstore.Hash{blockstore.HashBlock([]byte("seed"))}},
+		&BlockQueryResponse{Have: []bool{true, false, true}},
+		&BlockPut{Blocks: []Block{{Hash: blockstore.HashBlock([]byte("seed")), Data: []byte("seed")}}},
+		&BlockPutResponse{Stored: 1, Dup: 1},
+		seedManifestCommit(),
+		&ManifestCommitResponse{IDs: []int64{1, 2}},
 	}
 	for _, msg := range seeds {
 		f.Add(encodeFrame(f, msg))
@@ -49,4 +57,95 @@ func FuzzReadFrame(f *testing.F) {
 			t.Fatalf("decoded message %T does not re-encode: %v", msg, err)
 		}
 	})
+}
+
+// seedManifestCommit builds a structurally consistent commit frame for
+// seeding the fuzzers.
+func seedManifestCommit() *ManifestCommit {
+	blob := blockstore.SynthPayload(1, 300)
+	m := blockstore.ManifestOf(blob, 128)
+	rng := rand.New(rand.NewSource(7))
+	return &ManifestCommit{
+		Nonce: 99,
+		Items: []ManifestItem{{
+			Set:        randomSet(rng, 2),
+			GroupID:    -3,
+			Lat:        1.25,
+			Lon:        -4.5,
+			Gain:       0.75,
+			TotalBytes: m.TotalBytes,
+			BlockSize:  uint32(m.BlockSize),
+			Hashes:     m.Hashes,
+		}},
+	}
+}
+
+// FuzzBlockManifest hammers the ManifestCommit decoder: arbitrary
+// payload bytes must never panic, anything accepted must re-encode to
+// the identical payload (canonical encoding), and the decoded manifests
+// must never announce more hashes than the payload carried.
+func FuzzBlockManifest(f *testing.F) {
+	f.Add(encodePayload(f, seedManifestCommit()))
+	f.Add(encodePayload(f, &ManifestCommit{Nonce: 1}))
+	f.Add(encodePayload(f, &ManifestCommit{Items: []ManifestItem{{BlockSize: 1 << 17}}}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		msg, err := DecodePayload(MsgManifestCommit, payload)
+		if err != nil {
+			return
+		}
+		m, ok := msg.(*ManifestCommit)
+		if !ok {
+			t.Fatalf("decoded %T", msg)
+		}
+		for i := range m.Items {
+			if len(m.Items[i].Hashes)*hashLen > len(payload) {
+				t.Fatalf("item %d names %d hashes from a %d-byte payload",
+					i, len(m.Items[i].Hashes), len(payload))
+			}
+		}
+		if re := encodeManifestCommit(m); !bytes.Equal(re, payload) {
+			t.Fatalf("re-encode altered payload\n got %x\nwant %x", re, payload)
+		}
+	})
+}
+
+// FuzzBlockPut hammers the BlockPut decoder with the same invariants:
+// no panics, canonical re-encoding, and block data always aliased from
+// (never larger than) the received payload.
+func FuzzBlockPut(f *testing.F) {
+	f.Add(encodePayload(f, &BlockPut{Blocks: []Block{
+		{Hash: blockstore.HashBlock([]byte("a")), Data: []byte("a")},
+		{Hash: blockstore.HashBlock(nil), Data: nil},
+	}}))
+	f.Add(encodePayload(f, &BlockPut{}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		msg, err := DecodePayload(MsgBlockPut, payload)
+		if err != nil {
+			return
+		}
+		p, ok := msg.(*BlockPut)
+		if !ok {
+			t.Fatalf("decoded %T", msg)
+		}
+		total := 0
+		for i := range p.Blocks {
+			total += len(p.Blocks[i].Data)
+		}
+		if total > len(payload) {
+			t.Fatalf("decoded %d block bytes from a %d-byte payload", total, len(payload))
+		}
+		if re := encodeBlockPut(p); !bytes.Equal(re, payload) {
+			t.Fatalf("re-encode altered payload\n got %x\nwant %x", re, payload)
+		}
+	})
+}
+
+// encodePayload returns just the payload bytes of a message (no frame
+// header), for seeding the payload-level fuzzers.
+func encodePayload(tb testing.TB, msg any) []byte {
+	tb.Helper()
+	frame := encodeFrame(tb, msg)
+	return frame[5:]
 }

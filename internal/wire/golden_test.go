@@ -11,6 +11,7 @@ import (
 	"strings"
 	"testing"
 
+	"bees/internal/blockstore"
 	"bees/internal/features"
 )
 
@@ -61,6 +62,37 @@ func goldenFrames() []struct {
 		}},
 		{"upload_batch_response", &UploadBatchResponse{IDs: []int64{7, -1, 8}}},
 		{"busy_response", &BusyResponse{RetryAfterMs: 1500}},
+		{"hello", &Hello{Version: 1, Features: FeatureBlocks | 1<<63}},
+		{"block_query", &BlockQuery{Hashes: []blockstore.Hash{
+			blockstore.HashBlock([]byte("block-a")),
+			blockstore.HashBlock([]byte("block-b")),
+		}}},
+		{"block_query_response", &BlockQueryResponse{Have: []bool{true, false, true, true, false, false, false, true, true}}},
+		{"block_put", &BlockPut{Blocks: []Block{
+			{Hash: blockstore.HashBlock([]byte("block-a")), Data: []byte("block-a")},
+			{Hash: blockstore.HashBlock([]byte("block-b")), Data: []byte("block-b")},
+		}}},
+		{"block_put_response", &BlockPutResponse{Stored: 3, Dup: 2}},
+		{"manifest_commit", &ManifestCommit{
+			Nonce: 0xfeedface00c0ffee,
+			Items: []ManifestItem{
+				{
+					Set:        set,
+					GroupID:    5,
+					Lat:        48.8584,
+					Lon:        2.2945,
+					Gain:       0.5,
+					TotalBytes: 14,
+					BlockSize:  8,
+					Hashes: []blockstore.Hash{
+						blockstore.HashBlock([]byte("block-a")),
+						blockstore.HashBlock([]byte("block-b")),
+					},
+				},
+				{Set: &features.BinarySet{}, GroupID: -2, TotalBytes: 0, BlockSize: 131072},
+			},
+		}},
+		{"manifest_commit_response", &ManifestCommitResponse{IDs: []int64{11, -1}}},
 	}
 }
 

@@ -63,6 +63,13 @@ const (
 	MsgUploadBatchRequest
 	MsgUploadBatchResponse
 	MsgBusy
+	MsgHello
+	MsgBlockQuery
+	MsgBlockQueryResponse
+	MsgBlockPut
+	MsgBlockPutResponse
+	MsgManifestCommit
+	MsgManifestCommitResponse
 )
 
 // MaxFrameBytes bounds a frame to keep a malformed peer from forcing a
@@ -229,6 +236,20 @@ func WriteFrame(w io.Writer, msg any) error {
 		typ, payload = MsgUploadBatchResponse, encodeUploadBatchResponse(m)
 	case *BusyResponse:
 		typ, payload = MsgBusy, binary.LittleEndian.AppendUint32(nil, m.RetryAfterMs)
+	case *Hello:
+		typ, payload = MsgHello, encodeHello(m)
+	case *BlockQuery:
+		typ, payload = MsgBlockQuery, encodeBlockQuery(m)
+	case *BlockQueryResponse:
+		typ, payload = MsgBlockQueryResponse, encodeBlockQueryResponse(m)
+	case *BlockPut:
+		typ, payload = MsgBlockPut, encodeBlockPut(m)
+	case *BlockPutResponse:
+		typ, payload = MsgBlockPutResponse, encodeBlockPutResponse(m)
+	case *ManifestCommit:
+		typ, payload = MsgManifestCommit, encodeManifestCommit(m)
+	case *ManifestCommitResponse:
+		typ, payload = MsgManifestCommitResponse, encodeManifestCommitResponse(m)
 	default:
 		return fmt.Errorf("%w: %T", ErrUnencodable, msg)
 	}
@@ -318,6 +339,20 @@ func DecodePayload(typ MsgType, payload []byte) (any, error) {
 			return nil, errors.New("wire: bad busy response")
 		}
 		return &BusyResponse{RetryAfterMs: binary.LittleEndian.Uint32(payload)}, nil
+	case MsgHello:
+		return decodeHello(payload)
+	case MsgBlockQuery:
+		return decodeBlockQuery(payload)
+	case MsgBlockQueryResponse:
+		return decodeBlockQueryResponse(payload)
+	case MsgBlockPut:
+		return decodeBlockPut(payload)
+	case MsgBlockPutResponse:
+		return decodeBlockPutResponse(payload)
+	case MsgManifestCommit:
+		return decodeManifestCommit(payload)
+	case MsgManifestCommitResponse:
+		return decodeManifestCommitResponse(payload)
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", typ)
 	}
