@@ -9,6 +9,7 @@
 //	      [-max-inflight-frames 256] [-max-inflight-bytes 67108864]
 //	      [-admit-policy fifo] [-admit-low-water 0.5]
 //	      [-debug-addr 127.0.0.1:7701] [-blocks=true]
+//	      [-wal-dir /path/to/wal] [-wal-sync record] [-wal-segment-bytes 4194304]
 //
 // -blocks controls Hello feature negotiation for content-addressed
 // block transfer (delta uploads; see DESIGN.md, "Content-addressed
@@ -21,6 +22,16 @@
 // carries across restarts. A nonzero -snapshot-interval additionally
 // saves the snapshot periodically while running, bounding how much a
 // crash (as opposed to a clean shutdown) can lose.
+//
+// With -wal-dir, the server additionally appends every state-mutating
+// frame (uploads, block staging, manifest commits, nonce-window
+// insertions) to a checksummed write-ahead log before acknowledging it,
+// and recovery replays the log tail on top of the last good snapshot —
+// a crash then loses nothing that was acknowledged (see DESIGN.md,
+// "Crash consistency & the WAL"). -wal-sync picks the durability/
+// throughput point: "record" fsyncs every append, a duration like "2ms"
+// group-commits on that interval, "none" leaves flushing to the OS.
+// -wal-segment-bytes sizes the log segments rotation seals.
 //
 // -max-inflight-frames and -max-inflight-bytes bound the work the
 // server admits at once; past either limit it answers query/upload
@@ -54,6 +65,7 @@ import (
 
 	"bees/internal/server"
 	"bees/internal/telemetry"
+	"bees/internal/wal"
 )
 
 func main() {
@@ -76,6 +88,9 @@ func run() error {
 	admitLowWater := flag.Float64("admit-low-water", 0, "occupancy fraction where the utility policy starts early-shedding low-gain uploads (0 = default 0.5)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars (JSON telemetry snapshot) and /debug/pprof on this address")
 	blocks := flag.Bool("blocks", true, "advertise content-addressed block transfer in Hello negotiation (-blocks=false forces clients onto whole-image uploads)")
+	walDir := flag.String("wal-dir", "", "write-ahead log directory: mutations are durable before they are acknowledged, and recovery replays the log tail over the last good snapshot")
+	walSync := flag.String("wal-sync", "record", "WAL sync policy: record (fsync per append), a group-commit interval like 2ms, or none")
+	walSegBytes := flag.Int64("wal-segment-bytes", 0, "rotate WAL segments at this size (0 = default 4 MiB)")
 	flag.Parse()
 	if *snapEvery > 0 && *state == "" {
 		return errors.New("-snapshot-interval needs -state")
@@ -84,16 +99,35 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	walPolicy, walInterval, err := wal.ParseSyncPolicy(*walSync)
+	if err != nil {
+		return err
+	}
 
 	reg := telemetry.NewRegistry()
-	srv := server.NewWithConfig(server.Config{Telemetry: reg})
-	if *state != "" {
-		if err := srv.LoadSnapshotFile(*state); err != nil {
-			return fmt.Errorf("restore %s: %w", *state, err)
+	srv, rst, err := server.Recover(server.RecoverConfig{
+		Server:       server.Config{Telemetry: reg},
+		SnapshotPath: *state,
+		WAL: wal.Config{
+			Dir:          *walDir,
+			SegmentBytes: *walSegBytes,
+			Policy:       walPolicy,
+			Interval:     walInterval,
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("recover: %w", err)
+	}
+	if st := srv.Stats(); st.Images > 0 || rst.WALRecords > 0 {
+		fmt.Printf("recovered %d images from %s (snapshot generation %d, %d WAL records replayed",
+			st.Images, *state, rst.SnapshotGeneration, rst.WALRecords)
+		if rst.WALTruncatedBytes > 0 {
+			fmt.Printf(", %d torn tail bytes truncated", rst.WALTruncatedBytes)
 		}
-		if st := srv.Stats(); st.Images > 0 {
-			fmt.Printf("restored %d images from %s\n", st.Images, *state)
+		if rst.WALBadRecords > 0 {
+			fmt.Printf(", %d bad records skipped", rst.WALBadRecords)
 		}
+		fmt.Println(")")
 	}
 	tcp := server.NewTCPConfig(srv, server.TCPConfig{
 		IdleTimeout:       *idle,
@@ -143,10 +177,10 @@ func run() error {
 	}
 	switch {
 	case stopAutoSave != nil:
-		stopAutoSave() // takes the final snapshot itself
+		stopAutoSave() // takes the final checkpoint itself
 		fmt.Printf("state saved to %s\n", *state)
 	case *state != "":
-		if err := srv.SaveSnapshotFile(*state); err != nil {
+		if err := srv.Checkpoint(*state); err != nil {
 			log.Printf("snapshot save failed: %v", err)
 		} else {
 			fmt.Printf("state saved to %s\n", *state)
@@ -155,5 +189,11 @@ func run() error {
 	if debugLn != nil {
 		debugLn.Close()
 	}
-	return tcp.Close()
+	err = tcp.Close()
+	if l := srv.WAL(); l != nil {
+		if werr := l.Close(); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	return err
 }

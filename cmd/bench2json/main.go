@@ -56,8 +56,10 @@ type document struct {
 // (Match / Jaccard / Prepare / BatchGraph / QueryMax) plus, since the
 // extraction fast path landed, the extraction and codec hot path
 // (Extract / DetectFAST / Encoded / Pipeline), plus, since delta upload
-// landed, the block store's dedup and resume paths (Block / Resume).
-const defaultMatch = `Match|Jaccard|Prepare|BatchGraph|QueryMax|Extract|DetectFAST|Encoded|Pipeline|Block|Resume`
+// landed, the block store's dedup and resume paths (Block / Resume),
+// plus, since the write-ahead log landed, the durability hot path —
+// append cost per sync policy and replay throughput (WAL / Recovery).
+const defaultMatch = `Match|Jaccard|Prepare|BatchGraph|QueryMax|Extract|DetectFAST|Encoded|Pipeline|Block|Resume|WAL|Recovery`
 
 func main() {
 	compare := flag.Bool("compare", false,

@@ -365,6 +365,19 @@ func (s *Store) Len() int {
 	return len(s.blocks)
 }
 
+// RefCounts returns every block's reference count keyed by hash — the
+// crash-recovery tests compare a recovered store against a crash-free
+// run with one map equality check.
+func (s *Store) RefCounts() map[Hash]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[Hash]int64, len(s.blocks))
+	for h, e := range s.blocks {
+		out[h] = e.refs
+	}
+	return out
+}
+
 // Stats returns the store's size and reference counters.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()

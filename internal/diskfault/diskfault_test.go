@@ -1,0 +1,259 @@
+package diskfault
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func readAll(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestOSRoundTrip(t *testing.T) {
+	fs := OS()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a")
+	f, err := fs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(path, path+".2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	g, err := fs.Open(path + ".2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(g)
+	g.Close()
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	if _, err := fs.Stat(path + ".2"); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fs.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("ReadDir: %v, %v", ents, err)
+	}
+	if err := fs.MkdirAll(filepath.Join(dir, "x/y"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove(path + ".2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashFreezesDisk proves the kill-anywhere model: the crash-point
+// write persists exactly a prefix, and nothing after the crash reaches
+// the backing directory.
+func TestCrashFreezesDisk(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(Config{CrashAfterOps: 3}) // create(1), write(2), write(3) = crash
+	f, err := fs.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("bbbb")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash-point write err = %v, want ErrCrashed", err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("Crashed() false after crash point")
+	}
+	// Every later op fails without effect.
+	if _, err := f.Write([]byte("cccc")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write err = %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync err = %v", err)
+	}
+	if _, err := fs.Create(filepath.Join(dir, "g")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash create err = %v", err)
+	}
+	if err := fs.Rename(filepath.Join(dir, "f"), filepath.Join(dir, "h")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename err = %v", err)
+	}
+	if err := fs.Remove(filepath.Join(dir, "f")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash remove err = %v", err)
+	}
+	if err := fs.SyncDir(dir); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash syncdir err = %v", err)
+	}
+	if _, err := fs.Open(filepath.Join(dir, "f")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open err = %v", err)
+	}
+	if _, err := fs.ReadDir(dir); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash readdir err = %v", err)
+	}
+	if _, err := fs.Stat(dir); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash stat err = %v", err)
+	}
+	if err := fs.MkdirAll(filepath.Join(dir, "m"), 0o755); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash mkdirall err = %v", err)
+	}
+	f.Close() // allowed: defers run in the dying process
+
+	// A clean FS over the same directory sees the torn state: the full
+	// first write plus half of the crash-point write.
+	if got := readAll(t, filepath.Join(dir, "f")); string(got) != "aaaabb" {
+		t.Fatalf("disk frozen at %q, want %q", got, "aaaabb")
+	}
+}
+
+func TestCrashPanic(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(Config{CrashAfterOps: 2, Panic: true})
+	f, err := fs.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			r := recover()
+			c, ok := r.(*Crash)
+			if !ok {
+				t.Fatalf("recovered %v, want *Crash", r)
+			}
+			if c.Op != "write" || c.Error() == "" {
+				t.Fatalf("crash op %q", c.Op)
+			}
+		}()
+		f.Write([]byte("xxxx"))
+		t.Fatal("write did not panic")
+	}()
+	if !fs.Crashed() {
+		t.Fatal("Crashed() false after panic crash")
+	}
+}
+
+func TestOpsCounting(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(Config{})
+	f, _ := fs.Create(filepath.Join(dir, "f")) // op 1
+	f.Write([]byte("x"))                       // op 2
+	f.Sync()                                   // op 3
+	f.Close()
+	fs.Rename(filepath.Join(dir, "f"), filepath.Join(dir, "g")) // op 4
+	fs.SyncDir(dir)                                             // op 5
+	fs.Remove(filepath.Join(dir, "g"))                          // op 6
+	if got := fs.Ops(); got != 6 {
+		t.Fatalf("Ops() = %d, want 6", got)
+	}
+}
+
+func TestShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(Config{Seed: 1, ShortWriteProb: 1})
+	f, err := fs.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("err = %v, want ErrShortWrite", err)
+	}
+	if n != 3 {
+		t.Fatalf("short write persisted %d bytes, want 3", n)
+	}
+	f.Close()
+	if got := readAll(t, filepath.Join(dir, "f")); string(got) != "abc" {
+		t.Fatalf("on disk: %q", got)
+	}
+}
+
+func TestSyncError(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(Config{Seed: 2, SyncErrProb: 1})
+	f, err := fs.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err == nil {
+		t.Fatal("injected sync error did not fire")
+	}
+	f.Close()
+	if err := fs.SyncDir(dir); err == nil {
+		t.Fatal("injected dir sync error did not fire")
+	}
+}
+
+// TestCorruptWrite: the write reports success for the full length but
+// the stored bytes differ in exactly one bit.
+func TestCorruptWrite(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(Config{Seed: 3, CorruptProb: 1})
+	f, err := fs.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("abcdefgh")
+	n, err := f.Write(data)
+	if err != nil || n != len(data) {
+		t.Fatalf("corrupt write: n=%d err=%v", n, err)
+	}
+	f.Close()
+	got := readAll(t, filepath.Join(dir, "f"))
+	if len(got) != len(data) {
+		t.Fatalf("length changed: %d", len(got))
+	}
+	diffBits := 0
+	for i := range got {
+		for b := 0; b < 8; b++ {
+			if (got[i]^data[i])>>b&1 == 1 {
+				diffBits++
+			}
+		}
+	}
+	if diffBits != 1 {
+		t.Fatalf("%d bits flipped, want exactly 1", diffBits)
+	}
+	// The caller's buffer must not be mutated.
+	if string(data) != "abcdefgh" {
+		t.Fatalf("caller buffer mutated: %q", data)
+	}
+}
+
+// TestDeterministicSchedule: same seed, same fault decisions.
+func TestDeterministicSchedule(t *testing.T) {
+	run := func() []bool {
+		dir := t.TempDir()
+		fs := New(Config{Seed: 77, ShortWriteProb: 0.5})
+		f, _ := fs.Create(filepath.Join(dir, "f"))
+		defer f.Close()
+		var outcome []bool
+		for i := 0; i < 32; i++ {
+			_, err := f.Write([]byte("0123456789"))
+			outcome = append(outcome, err == nil)
+		}
+		return outcome
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at op %d", i)
+		}
+	}
+}

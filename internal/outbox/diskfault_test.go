@@ -1,0 +1,197 @@
+package outbox
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bees/internal/diskfault"
+	"bees/internal/telemetry"
+)
+
+// boxFiles lists the chunk-*.box files (not .tmp) currently in dir.
+func boxFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == chunkExt {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}
+
+// TestResumeSkipsCorruptChunks injects bit flips into the spill write
+// path and proves resume skips (and counts) the mangled chunk files
+// while reloading the intact ones — losing one chunk to a torn disk
+// never strands the rest of the queue.
+func TestResumeSkipsCorruptChunks(t *testing.T) {
+	dir := t.TempDir()
+
+	// Three clean chunks first.
+	box, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := box.Push(uint64(100+i), 1, testItems(t, int64(i), 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Two more through a bit-flipping filesystem: every write is
+	// corrupted, so both files land under their final name but fail
+	// their decode on resume.
+	evil, err := Open(Config{Dir: dir, FS: diskfault.New(diskfault.Config{Seed: 7, CorruptProb: 1})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evil.nextSeq = box.nextSeq // continue the seq space, don't overwrite
+	for i := 0; i < 2; i++ {
+		if err := evil.Push(uint64(200+i), 1, testItems(t, int64(10+i), 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(boxFiles(t, dir)); got != 5 {
+		t.Fatalf("spilled files = %d, want 5", got)
+	}
+
+	reg := telemetry.NewRegistry()
+	resumed, err := Open(Config{Dir: dir, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Len() != 3 {
+		t.Fatalf("resumed depth = %d, want 3 intact chunks", resumed.Len())
+	}
+	if st := resumed.Stats(); st.Corrupt != 2 {
+		t.Fatalf("corrupt = %d, want 2", st.Corrupt)
+	}
+	for i := 0; i < 3; i++ {
+		c, ok := resumed.Peek()
+		if !ok || c.Nonce != uint64(100+i) {
+			t.Fatalf("chunk %d: Peek = %+v, %v; want nonce %d", i, c, ok, 100+i)
+		}
+		resumed.Ack(c)
+	}
+	// Corrupt files are deleted on skip, so a second resume is clean.
+	if got := len(boxFiles(t, dir)); got != 0 {
+		t.Fatalf("files left after ack+skip = %d, want 0", got)
+	}
+}
+
+// TestResumeAfterCrashMidPush kills the filesystem at every op of a
+// Push and proves resume never reloads a torn chunk: either the chunk
+// made it (rename + dirsync reached), or only a .tmp / short file was
+// left behind and resume skips or sweeps it.
+func TestResumeAfterCrashMidPush(t *testing.T) {
+	// Count the ops one spill costs: create, writes, sync, rename, dirsync.
+	{
+		fs := diskfault.New(diskfault.Config{})
+		box, err := Open(Config{Dir: t.TempDir(), FS: fs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := box.Push(1, 1, testItems(t, 1, 2)); err != nil {
+			t.Fatal(err)
+		}
+		if fs.Ops() < 4 {
+			t.Fatalf("push cost %d mutating ops, expected at least create+sync+rename+dirsync", fs.Ops())
+		}
+		t.Logf("one push = %d mutating ops", fs.Ops())
+	}
+
+	for k := int64(1); ; k++ {
+		dir := t.TempDir()
+		fs := diskfault.New(diskfault.Config{Seed: k, CrashAfterOps: k})
+		box, err := Open(Config{Dir: dir, FS: fs})
+		if err != nil {
+			t.Fatal(err) // Open on an empty dir only does MkdirAll+ReadDir
+		}
+		pushErr := box.Push(9, 1, testItems(t, k, 2))
+		if !fs.Crashed() {
+			// Crash point beyond one push: the sweep is complete.
+			if pushErr != nil {
+				t.Fatalf("k=%d: push failed without crash: %v", k, pushErr)
+			}
+			break
+		}
+		if pushErr == nil {
+			t.Fatalf("k=%d: crashed mid-push but Push reported success", k)
+		}
+
+		// "Restart": resume over the same dir with a healthy filesystem.
+		reg := telemetry.NewRegistry()
+		resumed, err := Open(Config{Dir: dir, Telemetry: reg})
+		if err != nil {
+			t.Fatalf("k=%d: resume: %v", k, err)
+		}
+		st := resumed.Stats()
+		if resumed.Len()+int(st.Corrupt) > 1 {
+			t.Fatalf("k=%d: resume found %d chunks + %d corrupt from one torn push", k, resumed.Len(), st.Corrupt)
+		}
+		if resumed.Len() == 1 {
+			// If a chunk survived the crash it must be the intact one.
+			c, _ := resumed.Peek()
+			if c.Nonce != 9 || len(c.Items) != 2 {
+				t.Fatalf("k=%d: resumed chunk damaged: %+v", k, c)
+			}
+		}
+		// Any .tmp leftover from the torn push was swept by Open.
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".tmp") {
+				t.Fatalf("k=%d: stray %s survived resume", k, e.Name())
+			}
+		}
+	}
+}
+
+// TestResumeSkipsShortWrites mangles spill writes into short writes —
+// the file lands truncated under its final name (sync error ignored by
+// a buggy layer is simulated by SyncErrProb=0 + ShortWriteProb=1 with
+// the error swallowed here) — and proves resume counts it as corrupt.
+func TestResumeSkipsShortWrites(t *testing.T) {
+	dir := t.TempDir()
+	box, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := box.Push(1, 1, testItems(t, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate the spilled file in place: the torn-write outcome when
+	// the pre-rename fsync never made it to the platter.
+	files := boxFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("files = %v", files)
+	}
+	path := filepath.Join(dir, files[0])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Len() != 0 {
+		t.Fatalf("resumed depth = %d, want 0", resumed.Len())
+	}
+	if st := resumed.Stats(); st.Corrupt != 1 {
+		t.Fatalf("corrupt = %d, want 1", st.Corrupt)
+	}
+}

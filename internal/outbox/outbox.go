@@ -23,12 +23,12 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
+	"bees/internal/diskfault"
 	"bees/internal/features"
 	"bees/internal/server"
 	"bees/internal/telemetry"
@@ -76,6 +76,10 @@ type Config struct {
 	// Now substitutes the clock for age-based eviction in tests.
 	// Defaults to time.Now.
 	Now func() time.Time
+	// FS is the filesystem spill files go through. Defaults to the real
+	// OS; tests substitute a diskfault-injecting wrapper to prove resume
+	// survives torn and corrupted chunk files.
+	FS diskfault.FS
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +88,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Now == nil {
 		c.Now = time.Now
+	}
+	if c.FS == nil {
+		c.FS = diskfault.OS()
 	}
 	return c
 }
@@ -153,23 +160,31 @@ func Open(cfg Config) (*Outbox, error) {
 	if cfg.Dir == "" {
 		return b, nil
 	}
-	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+	if err := cfg.FS.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("outbox: create dir: %w", err)
 	}
-	entries, err := os.ReadDir(cfg.Dir)
+	entries, err := cfg.FS.ReadDir(cfg.Dir)
 	if err != nil {
 		return nil, fmt.Errorf("outbox: scan dir: %w", err)
 	}
 	for _, e := range entries {
-		if e.IsDir() || filepath.Ext(e.Name()) != chunkExt {
+		if e.IsDir() {
+			continue
+		}
+		if filepath.Ext(e.Name()) != chunkExt {
+			// A crash mid-Push can strand a chunk-*.box.tmp; it was never
+			// renamed into place, so it was never enqueued — sweep it.
+			if filepath.Ext(e.Name()) == ".tmp" {
+				cfg.FS.Remove(filepath.Join(cfg.Dir, e.Name()))
+			}
 			continue
 		}
 		path := filepath.Join(cfg.Dir, e.Name())
-		c, err := readChunkFile(path)
+		c, err := readChunkFile(cfg.FS, path)
 		if err != nil {
 			b.nCorr++
 			b.corrupt.Inc()
-			os.Remove(path)
+			cfg.FS.Remove(path)
 			continue
 		}
 		c.file = path
@@ -201,7 +216,7 @@ func (b *Outbox) Push(nonce uint64, utility float64, items []server.UploadItem) 
 	b.nextSeq++
 	if b.cfg.Dir != "" {
 		path := filepath.Join(b.cfg.Dir, fmt.Sprintf("chunk-%016x%s", c.seq, chunkExt))
-		if err := writeChunkFile(path, c); err != nil {
+		if err := writeChunkFile(b.cfg.FS, path, c); err != nil {
 			return err
 		}
 		c.file = path
@@ -239,7 +254,7 @@ func (b *Outbox) Ack(c *Chunk) {
 		if q.seq == c.seq {
 			b.chunks = append(b.chunks[:i], b.chunks[i+1:]...)
 			if q.file != "" {
-				os.Remove(q.file)
+				b.cfg.FS.Remove(q.file)
 			}
 			b.nReplayed++
 			b.replayed.Inc()
@@ -305,7 +320,7 @@ func (b *Outbox) evictLocked(i int) {
 	c := b.chunks[i]
 	b.chunks = append(b.chunks[:i], b.chunks[i+1:]...)
 	if c.file != "" {
-		os.Remove(c.file)
+		b.cfg.FS.Remove(c.file)
 	}
 	b.nEvicted++
 	b.evicted.Inc()
@@ -323,21 +338,30 @@ func (b *Outbox) evictLocked(i int) {
 // descriptor of UploadMeta is not persisted (the pipeline never sets it
 // on upload items; a reloaded chunk replays with Global nil).
 
-func writeChunkFile(path string, c *Chunk) error {
+func writeChunkFile(fs diskfault.FS, path string, c *Chunk) error {
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fs.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("outbox: create chunk: %w", err)
 	}
 	err = writeChunk(f, c)
+	// Sync before rename: a chunk visible under its final name must be
+	// fully on disk, or a post-crash resume could reload a torn file.
+	if err == nil {
+		err = f.Sync()
+	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	if err == nil {
-		err = os.Rename(tmp, path)
+		err = fs.Rename(tmp, path)
+	}
+	if err == nil {
+		// Make the rename itself durable, like the WAL and snapshot paths.
+		err = fs.SyncDir(filepath.Dir(path))
 	}
 	if err != nil {
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return fmt.Errorf("outbox: persist chunk: %w", err)
 	}
 	return nil
@@ -379,8 +403,8 @@ func writeChunk(w io.Writer, c *Chunk) error {
 	return firstErr
 }
 
-func readChunkFile(path string) (*Chunk, error) {
-	f, err := os.Open(path)
+func readChunkFile(fs diskfault.FS, path string) (*Chunk, error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"bees/internal/diskfault"
 	"bees/internal/features"
 	"bees/internal/server"
 	"bees/internal/telemetry"
@@ -255,7 +256,7 @@ func TestChunkTrailingGarbageRejected(t *testing.T) {
 	path := filepath.Join(dir, entries[0].Name())
 	data, _ := os.ReadFile(path)
 	os.WriteFile(path, append(data, 0xEE), 0o644)
-	if _, err := readChunkFile(path); !errors.Is(err, errBadChunk) {
+	if _, err := readChunkFile(diskfault.OS(), path); !errors.Is(err, errBadChunk) {
 		t.Fatalf("err = %v, want errBadChunk", err)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -42,7 +43,13 @@ var errBadSnapshot = errors.New("server: bad snapshot")
 const maxSnapshotDescriptors = 1 << 16
 
 // SaveSnapshot serializes the server state (index entries + counters).
+// It holds the snapshot cut (stateMu) for the duration: no mutator is
+// mid-flight, so counters, index, upload history, and block store are
+// one consistent point in time — the property WAL replay's coverage
+// check (firstID < snapshot nextID) relies on.
 func (s *Server) SaveSnapshot(w io.Writer) error {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(snapshotMagic[:]); err != nil {
 		return fmt.Errorf("server: write snapshot: %w", err)
@@ -278,27 +285,77 @@ func (s *Server) LoadSnapshot(r io.Reader) error {
 	return nil
 }
 
-// SaveSnapshotFile writes a snapshot atomically (temp file + rename).
+// SaveSnapshotFile writes a snapshot atomically and durably: the temp
+// file is fsynced before the rename and the parent directory after it,
+// so a power cut can never leave a renamed-but-empty snapshot. The
+// previous snapshot is retained as path+".1" — recovery falls back to
+// it when the primary turns out corrupt.
 func (s *Server) SaveSnapshotFile(path string) error {
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	dir := filepath.Dir(path)
+	f, err := s.fs.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("server: create snapshot: %w", err)
 	}
 	if err := s.SaveSnapshot(f); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		s.fs.Remove(tmp)
+		return fmt.Errorf("server: sync snapshot: %w", err)
+	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 		return fmt.Errorf("server: close snapshot: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	// Retain the previous generation. A crash between the two renames
+	// leaves only path+".1"; recovery tries path first, then the ".1"
+	// generation, and the WAL (not yet truncated) replays the rest.
+	if _, err := s.fs.Stat(path); err == nil {
+		if err := s.fs.Rename(path, path+".1"); err != nil {
+			s.fs.Remove(tmp)
+			return fmt.Errorf("server: retain snapshot: %w", err)
+		}
+	}
+	if err := s.fs.Rename(tmp, path); err != nil {
+		s.fs.Remove(tmp)
 		return fmt.Errorf("server: commit snapshot: %w", err)
 	}
+	if err := s.fs.SyncDir(dir); err != nil {
+		return fmt.Errorf("server: sync snapshot dir: %w", err)
+	}
 	return nil
+}
+
+// Checkpoint makes a durable snapshot and, when a WAL is attached,
+// truncates the log. The order is rotate → snapshot → truncate: records
+// appended after the rotation survive in the retained segment, and a
+// crash between snapshot and truncate merely replays records the
+// snapshot already holds — replay is idempotent over covered ID ranges.
+//
+// Truncation deliberately lags one checkpoint: only segments covered by
+// the PREVIOUS snapshot (now retained as path+".1") are deleted, so if
+// the primary snapshot is later found corrupt, the ".1" generation plus
+// the remaining log still rebuild complete state.
+func (s *Server) Checkpoint(path string) error {
+	if s.wal == nil {
+		return s.SaveSnapshotFile(path)
+	}
+	sealed, err := s.wal.Rotate()
+	if err != nil {
+		return err
+	}
+	if err := s.SaveSnapshotFile(path); err != nil {
+		return err
+	}
+	s.ckptMu.Lock()
+	prev := s.prevSealed
+	s.prevSealed = sealed
+	s.ckptMu.Unlock()
+	return s.wal.TruncateThrough(prev)
 }
 
 // AutoSave writes periodic snapshots to path until the returned stop
@@ -322,7 +379,7 @@ func (s *Server) AutoSave(path string, interval time.Duration, logf func(string,
 			case <-closeCh:
 				return
 			case <-t.C:
-				if err := s.SaveSnapshotFile(path); err != nil {
+				if err := s.Checkpoint(path); err != nil {
 					logf("autosave: %v", err)
 				}
 			}
@@ -333,7 +390,7 @@ func (s *Server) AutoSave(path string, interval time.Duration, logf func(string,
 		once.Do(func() {
 			close(closeCh)
 			<-done
-			if err := s.SaveSnapshotFile(path); err != nil {
+			if err := s.Checkpoint(path); err != nil {
 				logf("autosave (final): %v", err)
 			}
 		})
@@ -343,7 +400,7 @@ func (s *Server) AutoSave(path string, interval time.Duration, logf func(string,
 // LoadSnapshotFile restores a snapshot from disk; a missing file is not
 // an error (fresh start).
 func (s *Server) LoadSnapshotFile(path string) error {
-	f, err := os.Open(path)
+	f, err := s.fs.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}

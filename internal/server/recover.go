@@ -1,0 +1,217 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"bees/internal/blockstore"
+	"bees/internal/index"
+	"bees/internal/wal"
+)
+
+// RecoverConfig describes where a crashed (or cleanly stopped) beesd
+// left its durable state.
+type RecoverConfig struct {
+	// Server configures the recovered server (index, telemetry, block
+	// size, filesystem).
+	Server Config
+	// SnapshotPath is the primary snapshot file; "" starts fresh. The
+	// previous generation is expected at SnapshotPath+".1".
+	SnapshotPath string
+	// WAL configures the write-ahead log; an empty Dir runs without one
+	// (snapshot-only durability, the pre-WAL behavior).
+	WAL wal.Config
+}
+
+// RecoverStats reports what recovery found; beesd logs it and the
+// telemetry gauges under server.recover.* mirror it.
+type RecoverStats struct {
+	// SnapshotGeneration is 0 when no snapshot was loaded (fresh start),
+	// 1 for the primary, 2 for the retained ".1" fallback.
+	SnapshotGeneration int
+	// WALRecords is how many log records were replayed.
+	WALRecords int
+	// WALBadRecords counts records whose framing checksum passed but
+	// whose payload did not decode or apply; they are skipped.
+	WALBadRecords int
+	// WALTruncatedBytes is how much of the log tail was abandoned at the
+	// first torn or corrupt frame.
+	WALTruncatedBytes int64
+}
+
+// Recover rebuilds a server from its durable state: load the last good
+// snapshot (falling back one generation if the primary is corrupt),
+// replay the WAL tail on top — truncating at the first bad checksum —
+// and reopen the log for appending. The returned server is ready to
+// serve; its acknowledged state is exactly what the disk survived.
+func Recover(cfg RecoverConfig) (*Server, RecoverStats, error) {
+	var stats RecoverStats
+	if cfg.WAL.FS == nil {
+		cfg.WAL.FS = cfg.Server.FS
+	}
+	if cfg.WAL.Telemetry == nil {
+		cfg.WAL.Telemetry = cfg.Server.Telemetry
+	}
+
+	// Snapshot, with generation fallback. LoadSnapshot partially mutates
+	// on failure, so each attempt gets a fresh server.
+	s := NewWithConfig(cfg.Server)
+	if cfg.SnapshotPath != "" {
+		switch err := s.LoadSnapshotFile(cfg.SnapshotPath); {
+		case err == nil && s.snapshotLoaded():
+			stats.SnapshotGeneration = 1
+		case err == nil:
+			// Primary absent: either a true fresh start, or a crash between
+			// SaveSnapshotFile's two renames left the name vacant with the
+			// previous generation at ".1". Starting fresh in the latter case
+			// would outrun the lag-one-truncated WAL, so try the fallback
+			// (LoadSnapshotFile touched nothing, s is still fresh).
+			prev := cfg.SnapshotPath + ".1"
+			if err2 := s.LoadSnapshotFile(prev); err2 != nil {
+				return nil, stats, fmt.Errorf("server: recover: primary snapshot missing, fallback %s: %w", prev, err2)
+			}
+			if s.snapshotLoaded() {
+				stats.SnapshotGeneration = 2
+			}
+		case errors.Is(err, errBadSnapshot):
+			s = NewWithConfig(cfg.Server)
+			prev := cfg.SnapshotPath + ".1"
+			switch err2 := s.LoadSnapshotFile(prev); {
+			case err2 == nil:
+				if s.snapshotLoaded() {
+					stats.SnapshotGeneration = 2
+				}
+			case errors.Is(err2, errBadSnapshot):
+				return nil, stats, fmt.Errorf("server: recover: primary snapshot: %v; fallback %s: %w", err, prev, err2)
+			default:
+				return nil, stats, err2
+			}
+		default:
+			return nil, stats, err
+		}
+	}
+
+	// WAL replay on top of the snapshot. snapNextID is the snapshot's ID
+	// horizon: a record whose first ID lies below it is already inside
+	// the snapshot (the stateMu cut makes that exact) and only reseeds
+	// the nonce window; at or above it, the record is applied.
+	if cfg.WAL.Dir != "" {
+		snapNextID := s.nextID
+		rst, err := wal.Replay(cfg.WAL, func(p []byte) error {
+			if aerr := s.applyWALRecord(p, snapNextID); aerr != nil {
+				stats.WALBadRecords++
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, stats, fmt.Errorf("server: recover: %w", err)
+		}
+		stats.WALRecords = rst.Records
+		stats.WALTruncatedBytes = rst.TruncatedBytes
+
+		l, err := wal.Open(cfg.WAL)
+		if err != nil {
+			return nil, stats, fmt.Errorf("server: recover: %w", err)
+		}
+		s.AttachWAL(l)
+	}
+
+	tel := cfg.Server.Telemetry
+	tel.Gauge("server.recover.snapshot_generation").Set(float64(stats.SnapshotGeneration))
+	tel.Gauge("server.recover.wal_records").Set(float64(stats.WALRecords))
+	tel.Gauge("server.recover.wal_bad_records").Set(float64(stats.WALBadRecords))
+	tel.Gauge("server.recover.wal_truncated_bytes").Set(float64(stats.WALTruncatedBytes))
+	return s, stats, nil
+}
+
+// snapshotLoaded distinguishes "snapshot file existed" from a fresh
+// start after LoadSnapshotFile's missing-file-is-nil contract.
+func (s *Server) snapshotLoaded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextID != 0 || s.received != 0 || s.idx.Len() > 0 || s.blocks.Len() > 0
+}
+
+// applyWALRecord decodes and applies one replayed record. Decode or
+// apply failures are reported for counting and the record is skipped —
+// the framing checksum already passed, so this is version skew, not
+// disk corruption, and losing one record beats refusing to start.
+func (s *Server) applyWALRecord(p []byte, snapNextID index.ImageID) error {
+	rec, err := decodeWALRecord(p)
+	if err != nil {
+		return err
+	}
+	switch r := rec.(type) {
+	case *walUpload:
+		if r.firstID >= snapNextID {
+			s.installRecordedUpload(r.firstID, r.items)
+		}
+		s.seedDedup(r.nonce, r.firstID, len(r.items))
+	case *walBlockPut:
+		// Put re-verifies the hash, so a block corrupted on disk after its
+		// checksummed frame was written fails here rather than poisoning
+		// the store; duplicates (block also in the snapshot) are no-ops.
+		if _, err := s.blocks.Put(r.hash, r.data); err != nil {
+			return err
+		}
+	case *walCommit:
+		if r.firstID >= snapNextID {
+			items := make([]UploadItem, len(r.ups))
+			manifests := make([]blockstore.Manifest, len(r.ups))
+			for i := range r.ups {
+				manifests[i] = r.ups[i].Manifest
+				items[i] = UploadItem{Set: r.ups[i].Set, Meta: r.ups[i].Meta}
+			}
+			if err := s.blocks.Commit(manifests...); err != nil {
+				return err
+			}
+			s.installRecordedUpload(r.firstID, items)
+		}
+		s.seedDedup(r.nonce, r.firstID, len(r.ups))
+	}
+	return nil
+}
+
+// installRecordedUpload reinstates an upload batch under its originally
+// assigned IDs. Records may replay out of ID order (concurrent handlers
+// append in completion order), so nextID advances to the max seen.
+func (s *Server) installRecordedUpload(firstID index.ImageID, items []UploadItem) {
+	s.mu.Lock()
+	for i := range items {
+		id := firstID + index.ImageID(i)
+		s.received += int64(items[i].Meta.Bytes)
+		s.uploads = append(s.uploads, id)
+		s.metas = append(s.metas, items[i].Meta)
+	}
+	if next := firstID + index.ImageID(len(items)); next > s.nextID {
+		s.nextID = next
+	}
+	s.mu.Unlock()
+	for i := range items {
+		it := items[i]
+		if it.Set == nil {
+			continue
+		}
+		s.idx.Add(&index.Entry{
+			ID:      firstID + index.ImageID(i),
+			Set:     it.Set,
+			GroupID: it.Meta.GroupID,
+			Lat:     it.Meta.Lat,
+			Lon:     it.Meta.Lon,
+		})
+	}
+}
+
+// seedDedup reinstates a nonce-window entry from a replayed record: a
+// client retrying this nonce after the crash gets the original IDs, not
+// a second apply.
+func (s *Server) seedDedup(nonce uint64, firstID index.ImageID, count int) {
+	if nonce == 0 || count == 0 {
+		return
+	}
+	ids := make([]int64, count)
+	for i := range ids {
+		ids[i] = int64(firstID) + int64(i)
+	}
+	s.dedup.record(nonce, ids)
+}

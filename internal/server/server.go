@@ -5,15 +5,18 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"bees/internal/blockstore"
+	"bees/internal/diskfault"
 	"bees/internal/features"
 	"bees/internal/index"
 	"bees/internal/par"
 	"bees/internal/telemetry"
+	"bees/internal/wal"
 )
 
 // UploadMeta carries the image metadata the evaluation needs.
@@ -56,14 +59,29 @@ type Config struct {
 	// BlockSize is the content-addressed block granularity for the block
 	// store (see internal/blockstore). 0 selects the 128 KiB default.
 	BlockSize int
+	// FS is the filesystem snapshots are saved through. Nil selects the
+	// real filesystem; chaos tests substitute a diskfault.Faulty.
+	FS diskfault.FS
 }
+
+// ErrDurability marks a server that failed a write-ahead-log append.
+// Memory and log have diverged, so every later mutation is refused: the
+// un-acked frame must NOT be re-acknowledged from state the disk never
+// saw. The process restarts and recovers from snapshot + WAL.
+var ErrDurability = errors.New("server: write-ahead log failure, mutations refused")
 
 // Server is a thread-safe cloud server.
 type Server struct {
+	// stateMu draws the snapshot cut: every mutator (apply + WAL append)
+	// holds it for read, SaveSnapshot holds it for write, so each WAL
+	// record is atomically either fully inside a snapshot or fully
+	// replayable on top of it — never half of each.
+	stateMu  sync.RWMutex
 	mu       sync.Mutex
 	idx      *index.Index
 	tel      *telemetry.Registry
 	blocks   *blockstore.Store
+	fs       diskfault.FS
 	nonceSeq atomic.Uint64
 	nextID   index.ImageID
 	received int64
@@ -73,6 +91,20 @@ type Server struct {
 	// represent previously-uploaded content) but never counted as
 	// uploads of the experiment under measurement.
 	seedMetas []UploadMeta
+
+	// wal, when attached, receives one record per acknowledged mutation.
+	// dedup is the nonce retry window; it lives on the Server (not the
+	// TCP layer) so recovery can reseed it from replayed records.
+	wal    *wal.Log
+	dedup  *uploadDedup
+	durMu  sync.Mutex
+	durErr error
+	// prevSealed lags WAL truncation one checkpoint behind: segments are
+	// deleted only once covered by the *previous* snapshot generation, so
+	// the retained ".1" snapshot plus the remaining log always rebuild
+	// full state even when the primary snapshot is corrupt.
+	ckptMu     sync.Mutex
+	prevSealed uint64
 }
 
 // New creates a server with the given index configuration.
@@ -85,14 +117,63 @@ func NewWithConfig(cfg Config) *Server {
 	if cfg.Index == (index.Config{}) {
 		cfg.Index = index.DefaultConfig()
 	}
+	if cfg.FS == nil {
+		cfg.FS = diskfault.OS()
+	}
 	return &Server{
 		idx: index.New(cfg.Index),
 		tel: cfg.Telemetry,
+		fs:  cfg.FS,
 		blocks: blockstore.NewStore(blockstore.Config{
 			BlockSize: cfg.BlockSize,
 			Telemetry: cfg.Telemetry,
 		}),
+		dedup: newUploadDedup(4096),
 	}
+}
+
+// SetDedupWindow resizes the nonce retry window (default 4096).
+func (s *Server) SetDedupWindow(n int) {
+	if n > 0 {
+		s.dedup.setLimit(n)
+	}
+}
+
+// AttachWAL makes the server append every acknowledged mutation to l.
+// Attach before serving traffic; Recover does this for beesd.
+func (s *Server) AttachWAL(l *wal.Log) { s.wal = l }
+
+// WAL returns the attached log (nil when running without one).
+func (s *Server) WAL() *wal.Log { return s.wal }
+
+// durabilityErr reports whether a WAL append has ever failed.
+func (s *Server) durabilityErr() error {
+	s.durMu.Lock()
+	defer s.durMu.Unlock()
+	return s.durErr
+}
+
+// failDurability poisons the server after a WAL append failure.
+func (s *Server) failDurability(err error) {
+	s.durMu.Lock()
+	if s.durErr == nil {
+		s.durErr = fmt.Errorf("%w: %v", ErrDurability, err)
+		s.tel.Counter("server.wal.failures").Inc()
+	}
+	s.durMu.Unlock()
+}
+
+// logRecord appends an encoded record to the WAL, if one is attached,
+// and poisons the server on failure.
+func (s *Server) logRecord(rec []byte) error {
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.wal.Append(rec); err != nil {
+		s.failDurability(err)
+		return s.durabilityErr()
+	}
+	return nil
 }
 
 // NewDefault creates a server with the default index configuration.
@@ -128,6 +209,18 @@ func (s *Server) UploadBatchIDs(items []UploadItem) []index.ImageID {
 	if len(items) == 0 {
 		return nil
 	}
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	ids := s.applyUploads(items)
+	// Best-effort log under nonce 0: this path has no error return, so a
+	// WAL failure poisons the server instead of surfacing here.
+	_ = s.logRecord(encodeUploadRecord(0, ids[0], items))
+	return ids
+}
+
+// applyUploads is the shared apply: assign IDs under the server lock,
+// then index concurrently. Callers hold stateMu for read.
+func (s *Server) applyUploads(items []UploadItem) []index.ImageID {
 	ids := make([]index.ImageID, len(items))
 	s.mu.Lock()
 	for i := range items {
@@ -260,16 +353,63 @@ func (s *Server) Blocks() *blockstore.Store { return s.blocks }
 // drives the in-process and remote servers through one interface.
 func (s *Server) NewUploadNonce() uint64 { return s.nonceSeq.Add(1) }
 
-// UploadItems stores a batch under a client-chosen nonce. In process
-// there is no retry path — every call is a first delivery — so the
-// nonce is accepted and ignored; exactly-once holds by construction.
-func (s *Server) UploadItems(_ uint64, items []UploadItem) ([]int64, error) {
-	raw := s.UploadBatchIDs(items)
+// UploadItems stores a batch exactly once per nonce: a retried nonce —
+// whether the original ack was lost on the wire or the original apply
+// was recovered from the WAL after a crash — replays the originally
+// assigned IDs instead of storing twice. The record is durable per the
+// WAL sync policy before the call returns; a WAL failure refuses the
+// upload (and all later ones) so memory never runs ahead of the disk.
+func (s *Server) UploadItems(nonce uint64, items []UploadItem) ([]int64, error) {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	if err := s.durabilityErr(); err != nil {
+		return nil, err
+	}
+	// Dedup before the empty-batch check: a bare-nonce retry (no items)
+	// still replays the recorded IDs.
+	if nonce != 0 {
+		if ids, ok := s.dedup.lookup(nonce); ok && len(ids) > 0 {
+			s.tel.Counter("server.upload.dedup_hits").Inc()
+			return ids, nil
+		}
+	}
+	// An empty batch is a no-op and never claims the nonce: recording an
+	// empty ID slice would poison it for a retry carrying real items.
+	if len(items) == 0 {
+		return nil, nil
+	}
+	raw := s.applyUploads(items)
+	if err := s.logRecord(encodeUploadRecord(nonce, raw[0], items)); err != nil {
+		return nil, err
+	}
 	ids := make([]int64, len(raw))
 	for i, id := range raw {
 		ids[i] = int64(id)
 	}
+	if nonce != 0 {
+		s.dedup.record(nonce, ids)
+	}
 	return ids, nil
+}
+
+// StageBlock stages one content-addressed block through the WAL: the
+// block is durable before the put is acknowledged, so a commit that
+// refers to it can never outlive it across a crash. Duplicate blocks
+// are not re-logged (stored == false).
+func (s *Server) StageBlock(h blockstore.Hash, data []byte) (stored bool, err error) {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	if err := s.durabilityErr(); err != nil {
+		return false, err
+	}
+	stored, err = s.blocks.Put(h, data)
+	if err != nil || !stored {
+		return stored, err
+	}
+	if err := s.logRecord(encodeBlockPutRecord(h, data)); err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // ManifestUpload is one image arriving by manifest rather than by blob:
@@ -288,6 +428,50 @@ type ManifestUpload struct {
 // uploaded by blocks is byte-identical in Stats to one uploaded whole.
 // On any missing block nothing is committed and nothing is stored.
 func (s *Server) CommitManifests(ups []ManifestUpload) ([]index.ImageID, error) {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	return s.commitManifests(0, ups)
+}
+
+// CommitManifestsNonce is CommitManifests with retry dedup: a retried
+// nonce replays the original IDs without double-pinning blocks, even
+// when the original commit survives only in the WAL. Callers that speak
+// the wire protocol (TCP, recovery) use this entry point.
+func (s *Server) CommitManifestsNonce(nonce uint64, ups []ManifestUpload) ([]int64, error) {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	if err := s.durabilityErr(); err != nil {
+		return nil, err
+	}
+	if nonce != 0 {
+		if ids, ok := s.dedup.lookup(nonce); ok {
+			s.tel.Counter("server.upload.dedup_hits").Inc()
+			return ids, nil
+		}
+	}
+	raw, err := s.commitManifests(nonce, ups)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]int64, len(raw))
+	for i, id := range raw {
+		ids[i] = int64(id)
+	}
+	if nonce != 0 && len(ids) > 0 {
+		s.dedup.record(nonce, ids)
+	}
+	return ids, nil
+}
+
+// commitManifests validates, pins, applies, and logs one commit.
+// Callers hold stateMu for read.
+func (s *Server) commitManifests(nonce uint64, ups []ManifestUpload) ([]index.ImageID, error) {
+	if len(ups) == 0 {
+		return nil, nil
+	}
+	if err := s.durabilityErr(); err != nil {
+		return nil, err
+	}
 	manifests := make([]blockstore.Manifest, len(ups))
 	items := make([]UploadItem, len(ups))
 	for i := range ups {
@@ -303,5 +487,9 @@ func (s *Server) CommitManifests(ups []ManifestUpload) ([]index.ImageID, error) 
 	if err := s.blocks.Commit(manifests...); err != nil {
 		return nil, err
 	}
-	return s.UploadBatchIDs(items), nil
+	ids := s.applyUploads(items)
+	if err := s.logRecord(encodeCommitRecord(nonce, ids[0], ups)); err != nil {
+		return nil, err
+	}
+	return ids, nil
 }

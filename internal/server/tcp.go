@@ -105,8 +105,7 @@ type TCPServer struct {
 	closed bool
 	wg     sync.WaitGroup
 
-	dedup *uploadDedup
-	tel   *telemetry.Registry
+	tel *telemetry.Registry
 
 	// adm is the load-shedding controller: query/upload frames are
 	// charged from the frame header — before the payload is read — so
@@ -128,11 +127,13 @@ func NewTCP(srv *Server) *TCPServer { return NewTCPConfig(srv, TCPConfig{}) }
 // NewTCPConfig wraps a Server with explicit deadline/limit settings.
 func NewTCPConfig(srv *Server, cfg TCPConfig) *TCPServer {
 	cfg = cfg.withDefaults()
+	// The nonce retry window lives on the Server (so WAL recovery can
+	// reseed it); the TCP config still sizes it.
+	srv.SetDedupWindow(cfg.DedupWindow)
 	return &TCPServer{
 		srv:   srv,
 		cfg:   cfg,
 		conns: make(map[net.Conn]struct{}),
-		dedup: newUploadDedup(cfg.DedupWindow),
 		tel:   cfg.Telemetry, // nil is a valid no-op sink
 		adm: NewAdmission(AdmissionConfig{
 			Policy:     cfg.AdmitPolicy,
@@ -343,14 +344,20 @@ func (t *TCPServer) handle(conn net.Conn, msg any) error {
 		return wire.WriteFrame(conn, resp)
 	case *wire.UploadRequest:
 		span := t.tel.StartSpan("server.upload")
-		id := t.upload(m)
+		id, err := t.upload(m)
 		span.End()
+		if err != nil {
+			return err // durability failure: drop the connection, no ack
+		}
 		t.tel.Counter("server.frames.upload").Inc()
 		return wire.WriteFrame(conn, &wire.UploadResponse{ID: id})
 	case *wire.UploadBatchRequest:
 		span := t.tel.StartSpan("server.upload_batch")
-		ids := t.uploadBatch(m)
+		ids, err := t.uploadBatch(m)
 		span.End()
+		if err != nil {
+			return err // durability failure: drop the connection, no ack
+		}
 		t.tel.Counter("server.frames.upload_batch").Inc()
 		return wire.WriteFrame(conn, &wire.UploadBatchResponse{IDs: ids})
 	case *wire.StatsRequest:
@@ -380,8 +387,11 @@ func (t *TCPServer) handle(conn net.Conn, msg any) error {
 		return t.blockPut(conn, m)
 	case *wire.ManifestCommit:
 		span := t.tel.StartSpan("server.manifest_commit")
-		resp := t.manifestCommit(m)
+		resp, err := t.manifestCommit(m)
 		span.End()
+		if err != nil {
+			return err // durability failure: drop the connection, no ack
+		}
 		t.tel.Counter("server.frames.manifest_commit").Inc()
 		return wire.WriteFrame(conn, resp)
 	case *wire.TelemetryPush:
@@ -423,14 +433,16 @@ func (t *TCPServer) DebugSnapshot() telemetry.Snapshot {
 
 // upload applies an upload exactly once per nonce: a retried request
 // whose original response was lost gets the originally assigned ID back
-// instead of storing (and counting) the image twice.
-func (t *TCPServer) upload(m *wire.UploadRequest) int64 {
+// instead of storing (and counting) the image twice. The dedup window
+// and WAL append live in Server.UploadItems; the wire-facing byte
+// counters stay here, charged only on a fresh apply.
+func (t *TCPServer) upload(m *wire.UploadRequest) (int64, error) {
 	if m.Nonce != 0 {
 		// A nonce recorded by an empty batch maps to zero IDs; fall through
 		// to a fresh store rather than indexing into the empty slice.
-		if ids, ok := t.dedup.lookup(m.Nonce); ok && len(ids) > 0 {
+		if ids, ok := t.srv.dedup.lookup(m.Nonce); ok && len(ids) > 0 {
 			t.tel.Counter("server.upload.dedup_hits").Inc()
-			return ids[0]
+			return ids[0], nil
 		}
 	}
 	t.tel.Counter("server.upload.bytes").Add(int64(len(m.Blob)))
@@ -439,17 +451,17 @@ func (t *TCPServer) upload(m *wire.UploadRequest) int64 {
 	if set.Len() == 0 {
 		set = nil
 	}
-	id := int64(t.srv.Upload(set, UploadMeta{
+	ids, err := t.srv.UploadItems(m.Nonce, []UploadItem{{Set: set, Meta: UploadMeta{
 		GroupID: m.GroupID,
 		Lat:     m.Lat,
 		Lon:     m.Lon,
 		Bytes:   len(m.Blob),
 		Gain:    m.Gain,
-	}))
-	if m.Nonce != 0 {
-		t.dedup.record(m.Nonce, []int64{id})
+	}}})
+	if err != nil {
+		return 0, err
 	}
-	return id
+	return ids[0], nil
 }
 
 // blockPut stages incoming blocks. A corrupt block (hash mismatch)
@@ -461,7 +473,10 @@ func (t *TCPServer) blockPut(conn net.Conn, m *wire.BlockPut) error {
 	var bytes int64
 	for i := range m.Blocks {
 		b := &m.Blocks[i]
-		ok, err := t.srv.Blocks().Put(b.Hash, b.Data)
+		ok, err := t.srv.StageBlock(b.Hash, b.Data)
+		if errors.Is(err, ErrDurability) {
+			return err // drop the connection, no ack
+		}
 		if err != nil {
 			return wire.WriteFrame(conn, &wire.ErrorResponse{
 				Message: fmt.Sprintf("block %s: %v", b.Hash.Short(), err),
@@ -485,13 +500,7 @@ func (t *TCPServer) blockPut(conn net.Conn, m *wire.BlockPut) error {
 // client raced a query, or a put was shed) answers with an error; the
 // client re-queries, fills the gap, and retries the commit under the
 // same nonce.
-func (t *TCPServer) manifestCommit(m *wire.ManifestCommit) any {
-	if m.Nonce != 0 {
-		if ids, ok := t.dedup.lookup(m.Nonce); ok {
-			t.tel.Counter("server.upload.dedup_hits").Inc()
-			return &wire.ManifestCommitResponse{IDs: ids}
-		}
-	}
+func (t *TCPServer) manifestCommit(m *wire.ManifestCommit) (any, error) {
 	ups := make([]ManifestUpload, len(m.Items))
 	for i := range m.Items {
 		it := &m.Items[i]
@@ -511,29 +520,27 @@ func (t *TCPServer) manifestCommit(m *wire.ManifestCommit) any {
 			Manifest: it.Manifest(),
 		}
 	}
-	raw, err := t.srv.CommitManifests(ups)
-	if err != nil {
-		return &wire.ErrorResponse{Message: err.Error()}
+	ids, err := t.srv.CommitManifestsNonce(m.Nonce, ups)
+	if errors.Is(err, ErrDurability) {
+		return nil, err // drop the connection, no ack
 	}
-	ids := make([]int64, len(raw))
-	for i, id := range raw {
-		ids[i] = int64(id)
+	if err != nil {
+		// Validation failures (missing block, bytes mismatch) answer on the
+		// open connection: the client re-queries, refills, and retries.
+		return &wire.ErrorResponse{Message: err.Error()}, nil
 	}
 	t.tel.Counter("server.upload.batch_items").Add(int64(len(ids)))
-	if m.Nonce != 0 && len(ids) > 0 {
-		t.dedup.record(m.Nonce, ids)
-	}
-	return &wire.ManifestCommitResponse{IDs: ids}
+	return &wire.ManifestCommitResponse{IDs: ids}, nil
 }
 
 // uploadBatch applies a batched upload exactly once per nonce. The frame
 // is atomic on the wire (framing rejects truncated payloads), so one
 // nonce covers the whole batch and a retry replays the full ID slice.
-func (t *TCPServer) uploadBatch(m *wire.UploadBatchRequest) []int64 {
+func (t *TCPServer) uploadBatch(m *wire.UploadBatchRequest) ([]int64, error) {
 	if m.Nonce != 0 {
-		if ids, ok := t.dedup.lookup(m.Nonce); ok {
+		if ids, ok := t.srv.dedup.lookup(m.Nonce); ok {
 			t.tel.Counter("server.upload.dedup_hits").Inc()
-			return ids
+			return ids, nil
 		}
 	}
 	items := make([]UploadItem, len(m.Items))
@@ -556,18 +563,11 @@ func (t *TCPServer) uploadBatch(m *wire.UploadBatchRequest) []int64 {
 	}
 	t.tel.Counter("server.upload.bytes").Add(bytes)
 	t.tel.Counter("server.upload.batch_items").Add(int64(len(items)))
-	raw := t.srv.UploadBatchIDs(items)
-	ids := make([]int64, len(raw))
-	for i, id := range raw {
-		ids[i] = int64(id)
-	}
 	// Zero-item batches are not worth a dedup slot: replaying one is a
 	// no-op, and recording an empty ID slice would poison the nonce for a
-	// single-upload retry that expects at least one ID.
-	if m.Nonce != 0 && len(ids) > 0 {
-		t.dedup.record(m.Nonce, ids)
-	}
-	return ids
+	// single-upload retry that expects at least one ID. UploadItems
+	// enforces this (empty in, no record) and handles nonce + WAL.
+	return t.srv.UploadItems(m.Nonce, items)
 }
 
 // Close stops accepting, closes active connections, and waits for the
@@ -604,6 +604,14 @@ type uploadDedup struct {
 
 func newUploadDedup(limit int) *uploadDedup {
 	return &uploadDedup{ids: make(map[uint64][]int64), limit: limit}
+}
+
+// setLimit resizes the window; existing entries are kept (they fall out
+// FIFO as new nonces arrive).
+func (d *uploadDedup) setLimit(limit int) {
+	d.mu.Lock()
+	d.limit = limit
+	d.mu.Unlock()
 }
 
 func (d *uploadDedup) lookup(nonce uint64) ([]int64, bool) {

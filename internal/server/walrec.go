@@ -1,0 +1,319 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"bees/internal/blockstore"
+	"bees/internal/features"
+	"bees/internal/index"
+)
+
+// WAL record encoding: every state-mutating frame the server
+// acknowledges is first serialized to one of these records and appended
+// to the write-ahead log. The framing layer (internal/wal) owns length
+// and checksum; this file owns only the payload:
+//
+//	byte   type (recUpload | recBlockPut | recCommit)
+//	...    type-specific body, little-endian like the snapshot format
+//
+// Upload and commit records carry the nonce and the assigned ID range,
+// so replay both reinstalls the state and reseeds the retry-dedup
+// window — a client retrying a nonce the WAL already holds gets the
+// original IDs back, never a second apply.
+//
+// Gain and global descriptors are not persisted, matching the snapshot
+// format: they only steer admission and metadata queries of the live
+// process.
+
+const (
+	recUpload   = 1
+	recBlockPut = 2
+	recCommit   = 3
+)
+
+// maxWALBatchItems bounds decode-time allocation against corrupt
+// records; wire batches are far smaller.
+const maxWALBatchItems = 1 << 20
+
+// errBadWALRecord reports a record that decodes to nonsense. Replay
+// counts and skips these (the framing checksum already passed, so this
+// is a version skew or encoder bug, not disk corruption — losing one
+// record beats refusing to start).
+var errBadWALRecord = errors.New("server: bad wal record")
+
+// walUpload is a decoded recUpload: one acknowledged upload batch.
+type walUpload struct {
+	nonce   uint64
+	firstID index.ImageID
+	items   []UploadItem
+}
+
+// walBlockPut is a decoded recBlockPut: one staged block.
+type walBlockPut struct {
+	hash blockstore.Hash
+	data []byte
+}
+
+// walCommit is a decoded recCommit: one acknowledged manifest commit.
+type walCommit struct {
+	nonce   uint64
+	firstID index.ImageID
+	ups     []ManifestUpload
+}
+
+func encodeUploadRecord(nonce uint64, firstID index.ImageID, items []UploadItem) []byte {
+	b := make([]byte, 0, 64+64*len(items))
+	b = append(b, recUpload)
+	b = binary.LittleEndian.AppendUint64(b, nonce)
+	b = binary.LittleEndian.AppendUint64(b, uint64(firstID))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(items)))
+	for i := range items {
+		b = appendWALMeta(b, &items[i].Meta)
+		b = appendWALSet(b, items[i].Set)
+	}
+	return b
+}
+
+func encodeBlockPutRecord(h blockstore.Hash, data []byte) []byte {
+	b := make([]byte, 0, 1+len(h)+4+len(data))
+	b = append(b, recBlockPut)
+	b = append(b, h[:]...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(data)))
+	return append(b, data...)
+}
+
+func encodeCommitRecord(nonce uint64, firstID index.ImageID, ups []ManifestUpload) []byte {
+	b := make([]byte, 0, 64+128*len(ups))
+	b = append(b, recCommit)
+	b = binary.LittleEndian.AppendUint64(b, nonce)
+	b = binary.LittleEndian.AppendUint64(b, uint64(firstID))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(ups)))
+	for i := range ups {
+		u := &ups[i]
+		b = appendWALMeta(b, &u.Meta)
+		b = appendWALSet(b, u.Set)
+		b = binary.LittleEndian.AppendUint64(b, uint64(u.Manifest.TotalBytes))
+		b = binary.LittleEndian.AppendUint64(b, uint64(u.Manifest.BlockSize))
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(u.Manifest.Hashes)))
+		for _, h := range u.Manifest.Hashes {
+			b = append(b, h[:]...)
+		}
+	}
+	return b
+}
+
+func appendWALMeta(b []byte, m *UploadMeta) []byte {
+	b = binary.LittleEndian.AppendUint64(b, uint64(m.GroupID))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.Lat))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.Lon))
+	return binary.LittleEndian.AppendUint64(b, uint64(m.Bytes))
+}
+
+// appendWALSet serializes a feature set as a descriptor count plus raw
+// words; nil and empty sets both round-trip to nil (the TCP layer
+// already normalizes empty to nil).
+func appendWALSet(b []byte, set *features.BinarySet) []byte {
+	if set == nil {
+		return binary.LittleEndian.AppendUint32(b, 0)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(set.Descriptors)))
+	for _, d := range set.Descriptors {
+		for _, w := range d {
+			b = binary.LittleEndian.AppendUint64(b, w)
+		}
+	}
+	return b
+}
+
+// walDecoder is a bounds-checked cursor over a record payload.
+type walDecoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *walDecoder) u32() (uint32, error) {
+	if d.pos+4 > len(d.buf) {
+		return 0, errBadWALRecord
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.pos:])
+	d.pos += 4
+	return v, nil
+}
+
+func (d *walDecoder) u64() (uint64, error) {
+	if d.pos+8 > len(d.buf) {
+		return 0, errBadWALRecord
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.pos:])
+	d.pos += 8
+	return v, nil
+}
+
+func (d *walDecoder) bytes(n int) ([]byte, error) {
+	if n < 0 || d.pos+n > len(d.buf) {
+		return nil, errBadWALRecord
+	}
+	v := d.buf[d.pos : d.pos+n]
+	d.pos += n
+	return v, nil
+}
+
+func (d *walDecoder) meta() (UploadMeta, error) {
+	var m UploadMeta
+	group, err := d.u64()
+	if err != nil {
+		return m, err
+	}
+	latBits, err := d.u64()
+	if err != nil {
+		return m, err
+	}
+	lonBits, err := d.u64()
+	if err != nil {
+		return m, err
+	}
+	bytes, err := d.u64()
+	if err != nil {
+		return m, err
+	}
+	m.GroupID = int64(group)
+	m.Lat = math.Float64frombits(latBits)
+	m.Lon = math.Float64frombits(lonBits)
+	m.Bytes = int(bytes)
+	return m, nil
+}
+
+func (d *walDecoder) set() (*features.BinarySet, error) {
+	n, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n > maxSnapshotDescriptors {
+		return nil, errBadWALRecord
+	}
+	set := &features.BinarySet{Descriptors: make([]features.Descriptor, n)}
+	for j := uint32(0); j < n; j++ {
+		for w := 0; w < 4; w++ {
+			word, err := d.u64()
+			if err != nil {
+				return nil, err
+			}
+			set.Descriptors[j][w] = word
+		}
+	}
+	return set, nil
+}
+
+// decodeWALRecord parses one record payload into *walUpload,
+// *walBlockPut, or *walCommit.
+func decodeWALRecord(p []byte) (any, error) {
+	if len(p) == 0 {
+		return nil, errBadWALRecord
+	}
+	d := &walDecoder{buf: p, pos: 1}
+	switch p[0] {
+	case recUpload:
+		nonce, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		firstID, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		count, err := d.u32()
+		if err != nil || count == 0 || count > maxWALBatchItems {
+			return nil, errBadWALRecord
+		}
+		rec := &walUpload{nonce: nonce, firstID: index.ImageID(firstID)}
+		rec.items = make([]UploadItem, count)
+		for i := range rec.items {
+			if rec.items[i].Meta, err = d.meta(); err != nil {
+				return nil, err
+			}
+			if rec.items[i].Set, err = d.set(); err != nil {
+				return nil, err
+			}
+		}
+		return rec, trailing(d)
+	case recBlockPut:
+		h, err := d.bytes(len(blockstore.Hash{}))
+		if err != nil {
+			return nil, err
+		}
+		n, err := d.u32()
+		if err != nil || n > maxSnapshotBlockBytes {
+			return nil, errBadWALRecord
+		}
+		data, err := d.bytes(int(n))
+		if err != nil {
+			return nil, err
+		}
+		rec := &walBlockPut{data: append([]byte(nil), data...)}
+		copy(rec.hash[:], h)
+		return rec, trailing(d)
+	case recCommit:
+		nonce, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		firstID, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		count, err := d.u32()
+		if err != nil || count == 0 || count > maxWALBatchItems {
+			return nil, errBadWALRecord
+		}
+		rec := &walCommit{nonce: nonce, firstID: index.ImageID(firstID)}
+		rec.ups = make([]ManifestUpload, count)
+		for i := range rec.ups {
+			u := &rec.ups[i]
+			if u.Meta, err = d.meta(); err != nil {
+				return nil, err
+			}
+			if u.Set, err = d.set(); err != nil {
+				return nil, err
+			}
+			total, err := d.u64()
+			if err != nil {
+				return nil, err
+			}
+			blockSize, err := d.u64()
+			if err != nil {
+				return nil, err
+			}
+			nHashes, err := d.u32()
+			if err != nil || nHashes > maxWALBatchItems {
+				return nil, errBadWALRecord
+			}
+			u.Manifest.TotalBytes = int64(total)
+			u.Manifest.BlockSize = int(blockSize)
+			u.Manifest.Hashes = make([]blockstore.Hash, nHashes)
+			for j := range u.Manifest.Hashes {
+				hb, err := d.bytes(len(blockstore.Hash{}))
+				if err != nil {
+					return nil, err
+				}
+				copy(u.Manifest.Hashes[j][:], hb)
+			}
+		}
+		return rec, trailing(d)
+	default:
+		return nil, fmt.Errorf("%w: unknown type %d", errBadWALRecord, p[0])
+	}
+}
+
+// trailing rejects records with bytes past the parsed body.
+func trailing(d *walDecoder) error {
+	if d.pos != len(d.buf) {
+		return errBadWALRecord
+	}
+	return nil
+}
