@@ -10,6 +10,8 @@
 //	      [-admit-policy fifo] [-admit-low-water 0.5]
 //	      [-debug-addr 127.0.0.1:7701] [-blocks=true]
 //	      [-wal-dir /path/to/wal] [-wal-sync record] [-wal-segment-bytes 4194304]
+//	      [-cluster-self host:port -cluster-peers host1:p1,host2:p2,...]
+//	      [-cluster-shards 64] [-replication 2] [-cluster-catch-up]
 //
 // -blocks controls Hello feature negotiation for content-addressed
 // block transfer (delta uploads; see DESIGN.md, "Content-addressed
@@ -44,6 +46,18 @@
 // recently offered gains (see DESIGN.md, "City-scale simulation &
 // fairness-aware admission").
 //
+// With -cluster-peers (a comma-separated membership list) and
+// -cluster-self (this node's entry in it), the server also joins a
+// beesd cluster: descriptor-set index shards are placed over the
+// members by rendezvous hashing, each shard is replicated on
+// -replication nodes, and the node serves the shard frames
+// (ShardRoute/ShardQuery/ShardSync) for the shards it owns, forwarding
+// misrouted frames to an owner. -cluster-shards fixes the logical
+// shard count (it must agree across all nodes and routers).
+// -cluster-catch-up rebuilds every owned shard from a live replica at
+// startup — the replacement-node flow after a machine is swapped out.
+// See DESIGN.md, "Cluster routing & replication".
+//
 // With -debug-addr, the server additionally serves a JSON telemetry
 // snapshot at /debug/vars (frames, dedup hits, rejected connections,
 // per-stage spans, plus any pipeline metrics clients push — see
@@ -60,9 +74,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"bees/internal/cluster"
 	"bees/internal/server"
 	"bees/internal/telemetry"
 	"bees/internal/wal"
@@ -91,6 +107,11 @@ func run() error {
 	walDir := flag.String("wal-dir", "", "write-ahead log directory: mutations are durable before they are acknowledged, and recovery replays the log tail over the last good snapshot")
 	walSync := flag.String("wal-sync", "record", "WAL sync policy: record (fsync per append), a group-commit interval like 2ms, or none")
 	walSegBytes := flag.Int64("wal-segment-bytes", 0, "rotate WAL segments at this size (0 = default 4 MiB)")
+	clusterSelf := flag.String("cluster-self", "", "this node's name in -cluster-peers (cluster mode; usually its advertised host:port)")
+	clusterPeers := flag.String("cluster-peers", "", "comma-separated cluster membership, every node's dialable address including this one (enables cluster mode)")
+	clusterShards := flag.Int("cluster-shards", 64, "logical index shard count for the cluster's rendezvous placement (must match on every node and router)")
+	replication := flag.Int("replication", cluster.DefaultReplication, "per-shard replica count in cluster mode")
+	clusterCatchUp := flag.Bool("cluster-catch-up", false, "on startup, rebuild every owned shard from a live replica via ShardSync (replacement-node flow)")
 	flag.Parse()
 	if *snapEvery > 0 && *state == "" {
 		return errors.New("-snapshot-interval needs -state")
@@ -129,7 +150,36 @@ func run() error {
 		}
 		fmt.Println(")")
 	}
-	tcp := server.NewTCPConfig(srv, server.TCPConfig{
+	var clusterNode *cluster.Node
+	if *clusterPeers != "" {
+		if *clusterSelf == "" {
+			return errors.New("-cluster-peers needs -cluster-self")
+		}
+		table, terr := cluster.NewTable(strings.Split(*clusterPeers, ","), *clusterShards)
+		if terr != nil {
+			return terr
+		}
+		clusterNode, err = cluster.NewNode(cluster.NodeConfig{
+			Self:        *clusterSelf,
+			Table:       table,
+			Replication: *replication,
+			Server:      server.Config{Telemetry: reg},
+		})
+		if err != nil {
+			return err
+		}
+		if *clusterCatchUp {
+			fmt.Printf("catching up %d shards from peer replicas...\n", len(clusterNode.Shards()))
+			if err := clusterNode.CatchUp(); err != nil {
+				return fmt.Errorf("catch-up: %w", err)
+			}
+		}
+		fmt.Printf("cluster node %s: %d/%d shards at replication %d\n",
+			*clusterSelf, len(clusterNode.Shards()), *clusterShards, *replication)
+	} else if *clusterCatchUp || *clusterSelf != "" {
+		return errors.New("cluster flags need -cluster-peers")
+	}
+	tcpCfg := server.TCPConfig{
 		IdleTimeout:       *idle,
 		MaxConns:          *maxConns,
 		MaxInflightFrames: *maxFrames,
@@ -138,7 +188,13 @@ func run() error {
 		AdmitLowWater:     *admitLowWater,
 		Telemetry:         reg,
 		DisableBlocks:     !*blocks,
-	})
+	}
+	if clusterNode != nil {
+		// Assigned only when non-nil: a typed-nil *cluster.Node in the
+		// interface field would read as a configured handler.
+		tcpCfg.Cluster = clusterNode
+	}
+	tcp := server.NewTCPConfig(srv, tcpCfg)
 	bound, err := tcp.Listen(*addr)
 	if err != nil {
 		return err
@@ -190,6 +246,9 @@ func run() error {
 		debugLn.Close()
 	}
 	err = tcp.Close()
+	if clusterNode != nil {
+		clusterNode.Close()
+	}
 	if l := srv.WAL(); l != nil {
 		if werr := l.Close(); werr != nil && err == nil {
 			err = werr

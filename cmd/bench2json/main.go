@@ -58,8 +58,10 @@ type document struct {
 // (Extract / DetectFAST / Encoded / Pipeline), plus, since delta upload
 // landed, the block store's dedup and resume paths (Block / Resume),
 // plus, since the write-ahead log landed, the durability hot path —
-// append cost per sync policy and replay throughput (WAL / Recovery).
-const defaultMatch = `Match|Jaccard|Prepare|BatchGraph|QueryMax|Extract|DetectFAST|Encoded|Pipeline|Block|Resume|WAL|Recovery`
+// append cost per sync policy and replay throughput (WAL / Recovery) —
+// plus, since the sharded cluster landed, the per-image routing and
+// replica-repair paths (Route / ShardSync).
+const defaultMatch = `Match|Jaccard|Prepare|BatchGraph|QueryMax|Extract|DetectFAST|Encoded|Pipeline|Block|Resume|WAL|Recovery|Route|ShardSync`
 
 func main() {
 	compare := flag.Bool("compare", false,

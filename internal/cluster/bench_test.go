@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"bees/internal/blockstore"
+	"bees/internal/features"
+	"bees/internal/server"
+	"bees/internal/wire"
+)
+
+// BenchmarkRouteKey measures the routing hot path: key → home shard →
+// HRW replica set. This runs once per uploaded image on the router, so
+// it must stay trivially cheap next to the descriptor work.
+func BenchmarkRouteKey(b *testing.B) {
+	for _, nodes := range []int{3, 16} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			tb, err := NewTable(tableNodes(nodes), 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				shard := tb.ShardOf(uint64(i) * 0x9E3779B97F4A7C15)
+				reps := tb.Replicas(shard, 2)
+				if len(reps) != 2 {
+					b.Fatal("short replica set")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardSync measures replica repair end to end in memory:
+// snapshot a populated shard server, encode the sync frame, decode it,
+// and rebuild a fresh replica from the stream. This bounds how long a
+// shard is single-homed after a node replacement.
+func BenchmarkShardSync(b *testing.B) {
+	for _, images := range []int{64, 512} {
+		b.Run(fmt.Sprintf("images=%d", images), func(b *testing.B) {
+			src := server.NewWithConfig(server.Config{BlockSize: 4096})
+			for i := 0; i < images; i++ {
+				blob := blockstore.SynthPayload(uint64(i), 2000+(i%5)*800)
+				m := blockstore.ManifestOf(blob, 4096)
+				parts := blockstore.Split(blob, 4096)
+				for j, h := range m.Hashes {
+					if _, err := src.StageBlock(h, parts[j]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				set := &features.BinarySet{Descriptors: []features.Descriptor{
+					{uint64(i), uint64(i) * 3, uint64(i) * 7, uint64(i) * 31},
+				}}
+				if _, err := src.ApplyShardCommit(uint64(i+1), []int64{int64(i * 3)}, []server.ManifestUpload{{
+					Set:      set,
+					Meta:     server.UploadMeta{GroupID: int64(i), Bytes: len(blob)},
+					Manifest: m,
+				}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var buf bytes.Buffer
+				if err := src.SaveSnapshot(&buf); err != nil {
+					b.Fatal(err)
+				}
+				entries := src.DedupEntries()
+				nonces := make([]wire.NonceEntry, len(entries))
+				for j, e := range entries {
+					nonces[j] = wire.NonceEntry{Nonce: e.Nonce, IDs: e.IDs}
+				}
+				frame := &wire.ShardSyncResponse{Snapshot: buf.Bytes(), Nonces: nonces}
+				var wireBuf bytes.Buffer
+				if err := wire.WriteFrame(&wireBuf, frame); err != nil {
+					b.Fatal(err)
+				}
+				msg, err := wire.ReadFrame(&wireBuf)
+				if err != nil {
+					b.Fatal(err)
+				}
+				resp := msg.(*wire.ShardSyncResponse)
+				fresh := server.NewWithConfig(server.Config{BlockSize: 4096})
+				if err := fresh.LoadSnapshot(bytes.NewReader(resp.Snapshot)); err != nil {
+					b.Fatal(err)
+				}
+				for _, e := range resp.Nonces {
+					fresh.SeedDedup(e.Nonce, e.IDs)
+				}
+				if st := fresh.Stats(); st.Images != images {
+					b.Fatalf("rebuilt replica holds %d images, want %d", st.Images, images)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,484 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"bees/internal/blockstore"
+	"bees/internal/client"
+	"bees/internal/features"
+	"bees/internal/index"
+	"bees/internal/server"
+	"bees/internal/wire"
+)
+
+// RouterOptions configures a cluster Router.
+type RouterOptions struct {
+	// Table is the static cluster membership.
+	Table *Table
+	// Replication is the per-shard replica count. Default 2, clamped to
+	// the cluster size.
+	Replication int
+	// CandidateLimit is the per-query LSH candidate budget; it must
+	// match the nodes' index.Config.CandidateLimit for queries to be
+	// bit-identical to a single combined index. 0 selects the index
+	// default.
+	CandidateLimit int
+	// Client tunes the node-facing clients; Dial carries the transport
+	// (netsim pipes in tests, TCP in production).
+	Client client.Options
+	// NonceWindow is how many recent upload nonces the router remembers
+	// so an outbox replay reuses its original ID allocation. Default
+	// 4096, matching the server-side dedup window.
+	NonceWindow int
+}
+
+// Router is the cluster's upload/query front end — the role beesctl's
+// plain Client plays against a single beesd. Uploads are split by item
+// key across shards and fanned write-all to every shard replica
+// (success needs at least one ack per shard; lagging replicas catch up
+// via ShardSync). Queries read one live replica per shard, failing
+// over to the next replica on transport errors. The router assigns
+// image IDs from one dense global sequence, so the cluster's IDs —
+// and, by the candidate-merge argument in DESIGN.md, its query answers
+// and stats — are byte-identical to a single-node server fed the same
+// workload.
+//
+// A deployment runs ONE router (or routers that never interleave): the
+// ID sequence is bootstrapped from the cluster's max ID at startup and
+// advanced locally, which is single-writer by construction.
+type Router struct {
+	opts  RouterOptions
+	table *Table
+
+	peerMu  sync.Mutex
+	clients map[string]*client.Client
+
+	nonceMu  sync.Mutex
+	nonceRng *rand.Rand
+
+	mu       sync.Mutex
+	nextID   int64
+	idsReady bool
+	// nonceIDs remembers recent nonce → ID allocations (bounded FIFO)
+	// so a replayed batch re-sends the original IDs instead of
+	// allocating fresh ones the replicas would refuse to reconcile.
+	nonceIDs   map[uint64][]int64
+	nonceOrder []uint64
+}
+
+// NewRouter builds a router over the table.
+func NewRouter(opts RouterOptions) (*Router, error) {
+	if opts.Table == nil {
+		return nil, errors.New("cluster: router needs a table")
+	}
+	if opts.Replication <= 0 {
+		opts.Replication = DefaultReplication
+	}
+	if opts.Replication > len(opts.Table.nodes) {
+		opts.Replication = len(opts.Table.nodes)
+	}
+	if opts.CandidateLimit <= 0 {
+		opts.CandidateLimit = index.DefaultConfig().CandidateLimit
+	}
+	if opts.NonceWindow <= 0 {
+		opts.NonceWindow = 4096
+	}
+	seed := opts.Client.Seed
+	if seed == 0 {
+		seed = rand.Int63()
+	}
+	return &Router{
+		opts:     opts,
+		table:    opts.Table,
+		clients:  make(map[string]*client.Client),
+		nonceRng: rand.New(rand.NewSource(seed)),
+		nonceIDs: make(map[uint64][]int64),
+	}, nil
+}
+
+// NewNonce returns a fresh non-zero nonce (core.Uploader surface).
+// Nonces are random, not sequential, for the same reason the client's
+// are: the replicas' dedup windows outlive any one router process, so a
+// restarted router drawing nonce 1, 2, ... would collide with its
+// predecessor's uploads and get the old IDs replayed. Client.Seed fixes
+// the stream for reproducible tests.
+func (r *Router) NewNonce() uint64 {
+	r.nonceMu.Lock()
+	defer r.nonceMu.Unlock()
+	for {
+		if n := r.nonceRng.Uint64(); n != 0 {
+			return n
+		}
+	}
+}
+
+// NewUploadNonce aliases NewNonce to satisfy core.Uploader.
+func (r *Router) NewUploadNonce() uint64 { return r.NewNonce() }
+
+// client returns (lazily building) the client for a node.
+func (r *Router) client(name string) *client.Client {
+	r.peerMu.Lock()
+	defer r.peerMu.Unlock()
+	if c, ok := r.clients[name]; ok {
+		return c
+	}
+	opts := r.opts.Client
+	opts.LazyDial = true
+	c, err := client.DialOptions(name, opts)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: router client %s: %v", name, err))
+	}
+	r.clients[name] = c
+	return c
+}
+
+// Close releases the router's node clients.
+func (r *Router) Close() error {
+	r.peerMu.Lock()
+	defer r.peerMu.Unlock()
+	for _, c := range r.clients {
+		c.Close()
+	}
+	r.clients = make(map[string]*client.Client)
+	return nil
+}
+
+// shardStats reads every shard's counters from one live replica each
+// (read-one with failover), in shard order.
+func (r *Router) shardStats() ([]wire.ShardStat, error) {
+	resps, err := r.queryShards(nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	stats := make([]wire.ShardStat, r.table.NumShards())
+	for _, resp := range resps {
+		for _, st := range resp.Stats {
+			stats[st.Shard] = st
+		}
+	}
+	return stats, nil
+}
+
+// Stats sums per-shard counters into the single-node Stats shape. Each
+// shard is read from exactly one replica, so replicated items are
+// counted once.
+func (r *Router) Stats() (server.Stats, error) {
+	stats, err := r.shardStats()
+	if err != nil {
+		return server.Stats{}, err
+	}
+	var out server.Stats
+	for _, st := range stats {
+		out.Images += int(st.Images)
+		out.BytesReceived += st.Bytes
+	}
+	return out, nil
+}
+
+// ensureNextID bootstraps the global ID sequence from the cluster's
+// current maximum — a restarted router resumes allocating after every
+// ID any shard has applied. Callers hold r.mu.
+func (r *Router) ensureNextID() error {
+	if r.idsReady {
+		return nil
+	}
+	stats, err := r.shardStats()
+	if err != nil {
+		return err
+	}
+	var next int64
+	for _, st := range stats {
+		if st.NextID > next {
+			next = st.NextID
+		}
+	}
+	r.nextID = next
+	r.idsReady = true
+	return nil
+}
+
+// UploadItems stores one batch across the cluster exactly once per
+// nonce: items are split by key across shards, IDs come off the global
+// sequence in item order (matching what a single-node server would
+// assign), and each shard's slice fans out write-all to its replicas —
+// at least one replica must ack each shard or the whole batch fails
+// (and can be replayed under the same nonce; both the router's nonce
+// cache and the replicas' dedup windows make the replay idempotent).
+func (r *Router) UploadItems(nonce uint64, items []server.UploadItem) ([]int64, error) {
+	if len(items) == 0 {
+		return nil, nil
+	}
+	r.mu.Lock()
+	if nonce != 0 {
+		if prev, ok := r.nonceIDs[nonce]; ok {
+			ids := append([]int64(nil), prev...)
+			r.mu.Unlock()
+			// Still re-send: a replayed batch means the previous attempt
+			// failed somewhere — the replicas that already applied it will
+			// dedup, the ones that missed it apply now.
+			if err := r.fanOut(nonce, ids, items); err != nil {
+				return nil, err
+			}
+			return ids, nil
+		}
+	}
+	if err := r.ensureNextID(); err != nil {
+		r.mu.Unlock()
+		return nil, err
+	}
+	ids := make([]int64, len(items))
+	for i := range ids {
+		ids[i] = r.nextID
+		r.nextID++
+	}
+	r.mu.Unlock()
+
+	if err := r.fanOut(nonce, ids, items); err != nil {
+		return nil, err
+	}
+	if nonce != 0 {
+		r.mu.Lock()
+		if _, ok := r.nonceIDs[nonce]; !ok {
+			if len(r.nonceOrder) >= r.opts.NonceWindow {
+				oldest := r.nonceOrder[0]
+				r.nonceOrder = r.nonceOrder[1:]
+				delete(r.nonceIDs, oldest)
+			}
+			r.nonceIDs[nonce] = append([]int64(nil), ids...)
+			r.nonceOrder = append(r.nonceOrder, nonce)
+		}
+		r.mu.Unlock()
+	}
+	return ids, nil
+}
+
+// UploadBatch satisfies core.ServerAPI-style callers: one batch under a
+// fresh nonce.
+func (r *Router) UploadBatch(items []server.UploadItem) error {
+	_, err := r.UploadItems(r.NewNonce(), items)
+	return err
+}
+
+// shardSlice is one shard's portion of an upload batch.
+type shardSlice struct {
+	ids    []int64
+	wire   []wire.ManifestItem
+	hashes []blockstore.Hash            // unique, first-appearance order
+	data   map[blockstore.Hash][]byte   // block payloads by hash
+}
+
+// fanOut delivers a batch: split by shard, then write-all per shard.
+func (r *Router) fanOut(nonce uint64, ids []int64, items []server.UploadItem) error {
+	blockSize := r.opts.Client.BlockSize
+	if blockSize <= 0 {
+		blockSize = blockstore.DefaultBlockSize
+	}
+	wi := client.WireItems(items)
+	slices := make(map[uint32]*shardSlice)
+	for i := range items {
+		shard := r.table.ShardOf(client.ItemKey(&items[i]))
+		sl := slices[shard]
+		if sl == nil {
+			sl = &shardSlice{data: make(map[blockstore.Hash][]byte)}
+			slices[shard] = sl
+		}
+		m := blockstore.ManifestOf(wi[i].Blob, blockSize)
+		sl.ids = append(sl.ids, ids[i])
+		sl.wire = append(sl.wire, wire.ManifestItem{
+			Set:        wi[i].Set,
+			GroupID:    wi[i].GroupID,
+			Lat:        wi[i].Lat,
+			Lon:        wi[i].Lon,
+			Gain:       wi[i].Gain,
+			TotalBytes: m.TotalBytes,
+			BlockSize:  uint32(m.BlockSize),
+			Hashes:     m.Hashes,
+		})
+		parts := blockstore.Split(wi[i].Blob, blockSize)
+		for j, h := range m.Hashes {
+			if _, ok := sl.data[h]; !ok {
+				sl.data[h] = parts[j]
+				sl.hashes = append(sl.hashes, h)
+			}
+		}
+	}
+	// Deterministic shard order keeps replays and differential runs
+	// byte-for-byte comparable.
+	order := make([]uint32, 0, len(slices))
+	for s := range slices {
+		order = append(order, s)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, shard := range order {
+		if err := r.uploadShard(nonce, shard, slices[shard]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// uploadShard writes one shard slice to all its replicas. Each replica
+// gets the full delta flow — query its store, send what it misses,
+// commit under the shard's IDs — so replicas converge to identical
+// refcounts no matter what each already held. At least one ack makes
+// the shard durable; replicas that failed are repaired later by
+// ShardSync, not by failing the upload.
+func (r *Router) uploadShard(nonce uint64, shard uint32, sl *shardSlice) error {
+	replicas := r.table.Replicas(shard, r.opts.Replication)
+	acked := 0
+	var firstIDs []int64
+	var lastErr error
+	for _, node := range replicas {
+		ids, err := r.uploadReplica(node, nonce, shard, sl)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if firstIDs == nil {
+			firstIDs = ids
+		} else if !equalIDs(firstIDs, ids) {
+			return fmt.Errorf("cluster: shard %d replicas disagree on ids %v vs %v", shard, firstIDs, ids)
+		}
+		acked++
+	}
+	if acked == 0 {
+		return fmt.Errorf("cluster: shard %d: no replica reachable: %w", shard, lastErr)
+	}
+	return nil
+}
+
+// uploadReplica runs the two-round delta flow against one replica.
+func (r *Router) uploadReplica(node string, nonce uint64, shard uint32, sl *shardSlice) ([]int64, error) {
+	c := r.client(node)
+	q, err := c.ShardRoute(&wire.ShardRoute{Nonce: nonce, Shard: shard, Query: sl.hashes})
+	if err != nil {
+		return nil, err
+	}
+	var missing []wire.Block
+	for i, h := range sl.hashes {
+		if !q.Have[i] {
+			missing = append(missing, wire.Block{Hash: h, Data: sl.data[h]})
+		}
+	}
+	resp, err := c.ShardRoute(&wire.ShardRoute{
+		Nonce:  nonce,
+		Shard:  shard,
+		IDs:    sl.ids,
+		Blocks: missing,
+		Items:  sl.wire,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.IDs, nil
+}
+
+func equalIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// queryShards runs a ShardQuery for the given sets against every shard,
+// reading each shard from one live replica: shards are grouped by their
+// first untried replica, the group query is sent, and a node failure
+// pushes its shards to their next replica until every shard answered or
+// some shard ran out of replicas.
+func (r *Router) queryShards(sets []*features.BinarySet, limit int) ([]*wire.ShardQueryResponse, error) {
+	numShards := r.table.NumShards()
+	replicaIdx := make([]int, numShards)
+	pending := make([]uint32, numShards)
+	for s := range pending {
+		pending[s] = uint32(s)
+	}
+	var out []*wire.ShardQueryResponse
+	for len(pending) > 0 {
+		// Group the pending shards by their current replica choice.
+		groups := make(map[string][]uint32)
+		for _, s := range pending {
+			reps := r.table.Replicas(s, r.opts.Replication)
+			if replicaIdx[s] >= len(reps) {
+				return nil, fmt.Errorf("cluster: shard %d: all replicas failed", s)
+			}
+			node := reps[replicaIdx[s]]
+			groups[node] = append(groups[node], s)
+		}
+		nodes := make([]string, 0, len(groups))
+		for n := range groups {
+			nodes = append(nodes, n)
+		}
+		sort.Strings(nodes)
+		pending = pending[:0]
+		for _, node := range nodes {
+			shards := groups[node]
+			resp, err := r.client(node).ShardQuery(&wire.ShardQuery{
+				Shards: shards,
+				Limit:  uint32(limit),
+				Sets:   sets,
+			})
+			if err != nil {
+				// Fail the whole group over to each shard's next replica.
+				for _, s := range shards {
+					replicaIdx[s]++
+					pending = append(pending, s)
+				}
+				continue
+			}
+			out = append(out, resp)
+		}
+	}
+	return out, nil
+}
+
+// QueryMaxBatch answers the CBRD query for a whole batch: one maximum
+// stored similarity per set, bit-identical to a single-node server
+// holding the union of all shards. Each shard's top-limit candidate
+// list (votes and exact similarities, zero-sim entries included) is a
+// superset of the global top-limit ranking's restriction to that
+// shard, so merging the lists, re-sorting by (votes desc, ID asc) and
+// truncating to the limit reconstructs the oracle's candidate set
+// exactly; the answer is the best positive similarity among them.
+func (r *Router) QueryMaxBatch(sets []*features.BinarySet) ([]float64, error) {
+	if len(sets) == 0 {
+		return nil, nil
+	}
+	limit := r.opts.CandidateLimit
+	resps, err := r.queryShards(sets, limit)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(sets))
+	for si := range sets {
+		var cands []wire.ShardCandidate
+		for _, resp := range resps {
+			cands = append(cands, resp.PerSet[si]...)
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].Votes != cands[j].Votes {
+				return cands[i].Votes > cands[j].Votes
+			}
+			return cands[i].ID < cands[j].ID
+		})
+		if len(cands) > limit {
+			cands = cands[:limit]
+		}
+		best := 0.0
+		for _, c := range cands {
+			if c.Sim > best {
+				best = c.Sim
+			}
+		}
+		out[si] = best
+	}
+	return out, nil
+}

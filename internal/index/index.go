@@ -228,13 +228,28 @@ func (sh *shard) votes(set *features.BinarySet, bitSel [][]int) map[ImageID]int 
 	return v
 }
 
-// QueryTopK returns the k most similar indexed images, ranked by exact
-// Jaccard similarity over the LSH candidate set. Candidate generation
-// fans out over the shards concurrently; because each image lives in
-// exactly one shard, merging the per-shard votes reproduces the global
-// vote counts, so the ranking is identical to a single-shard index.
-func (x *Index) QueryTopK(set *features.BinarySet, k int) []Result {
-	if set.Len() == 0 || k <= 0 {
+// Candidate is one LSH candidate surviving the vote ranking: its merged
+// vote count across the hash tables plus the exact Equation-2 similarity
+// (which may be 0 — a hash collision with no surviving exact match).
+// Candidates are what a cluster router merges across index partitions:
+// votes depend only on the query, the entry, and the seeded bit
+// selectors, so per-partition top-limit candidate lists re-rank into the
+// exact global candidate order (see internal/cluster).
+type Candidate struct {
+	ID         ImageID
+	GroupID    int64
+	Votes      int
+	Similarity float64
+}
+
+// QueryCandidates returns the top-limit LSH candidates for the query
+// set, ranked by (votes desc, ID asc), each carrying its exact
+// similarity. Unlike QueryTopK it keeps zero-similarity candidates: a
+// partial (per-partition) candidate list must preserve the vote ranking
+// exactly, and dropping sim-0 entries before the global merge would
+// shift which candidates survive the global limit.
+func (x *Index) QueryCandidates(set *features.BinarySet, limit int) []Candidate {
+	if set.Len() == 0 || limit <= 0 {
 		return nil
 	}
 	perShard := make([]map[ImageID]int, len(x.shards))
@@ -268,27 +283,51 @@ func (x *Index) QueryTopK(set *features.BinarySet, k int) []Result {
 		}
 		return cands[i].id < cands[j].id
 	})
-	limit := x.cfg.CandidateLimit
-	if k > limit {
-		limit = k
-	}
 	if len(cands) > limit {
 		cands = cands[:limit]
 	}
-	results := make([]Result, 0, len(cands))
+	out := make([]Candidate, 0, len(cands))
 	prepQ := set.Prepare()
 	for _, c := range cands {
 		e := x.Get(c.id)
 		if e == nil {
 			continue
 		}
-		sim := features.JaccardPrepared(prepQ, e.prepared(), x.cfg.HammingMax)
-		if sim <= 0 {
+		out = append(out, Candidate{
+			ID:         e.ID,
+			GroupID:    e.GroupID,
+			Votes:      c.votes,
+			Similarity: features.JaccardPrepared(prepQ, e.prepared(), x.cfg.HammingMax),
+		})
+	}
+	return out
+}
+
+// QueryTopK returns the k most similar indexed images, ranked by exact
+// Jaccard similarity over the LSH candidate set. Candidate generation
+// fans out over the shards concurrently; because each image lives in
+// exactly one shard, merging the per-shard votes reproduces the global
+// vote counts, so the ranking is identical to a single-shard index.
+func (x *Index) QueryTopK(set *features.BinarySet, k int) []Result {
+	if set.Len() == 0 || k <= 0 {
+		return nil
+	}
+	limit := x.cfg.CandidateLimit
+	if k > limit {
+		limit = k
+	}
+	cands := x.QueryCandidates(set, limit)
+	if len(cands) == 0 {
+		return nil
+	}
+	results := make([]Result, 0, len(cands))
+	for _, c := range cands {
+		if c.Similarity <= 0 {
 			// A hash collision with no surviving exact match is not a
 			// retrieval result.
 			continue
 		}
-		results = append(results, Result{ID: e.ID, GroupID: e.GroupID, Similarity: sim})
+		results = append(results, Result{ID: c.ID, GroupID: c.GroupID, Similarity: c.Similarity})
 	}
 	sort.Slice(results, func(i, j int) bool {
 		if results[i].Similarity != results[j].Similarity {

@@ -23,6 +23,11 @@ type Partition struct {
 	mu    sync.Mutex
 	down  bool
 	conns map[net.Conn]struct{}
+	// sevArmed/sevCountdown implement SeverAfterWrites: while armed,
+	// each successful Write on a tracked conn consumes one credit and
+	// the first write past zero severs the gate instead.
+	sevArmed     bool
+	sevCountdown int
 }
 
 // NewPartition returns a healed (passing) partition gate.
@@ -50,7 +55,38 @@ func (p *Partition) Sever() {
 func (p *Partition) Heal() {
 	p.mu.Lock()
 	p.down = false
+	p.sevArmed = false
 	p.mu.Unlock()
+}
+
+// SeverAfterWrites arms the gate to sever itself after n more Write
+// calls across its tracked connections: the n writes succeed, the
+// (n+1)th fails with ErrPartitioned and cuts the link. Counting Write
+// calls (not bytes or frames) gives chaos tests a deterministic way to
+// kill a node mid-batch at any chosen point of the conversation.
+func (p *Partition) SeverAfterWrites(n int) {
+	p.mu.Lock()
+	p.sevArmed = true
+	p.sevCountdown = n
+	p.mu.Unlock()
+}
+
+// allowWrite consumes one armed write credit, severing on exhaustion.
+func (p *Partition) allowWrite() bool {
+	p.mu.Lock()
+	if !p.sevArmed {
+		p.mu.Unlock()
+		return true
+	}
+	if p.sevCountdown > 0 {
+		p.sevCountdown--
+		p.mu.Unlock()
+		return true
+	}
+	p.sevArmed = false
+	p.mu.Unlock()
+	p.Sever()
+	return false
 }
 
 // Down reports whether the link is currently severed.
@@ -116,6 +152,9 @@ func (c *partitionConn) Read(b []byte) (int, error) {
 
 func (c *partitionConn) Write(b []byte) (int, error) {
 	if c.p.Down() {
+		return 0, ErrPartitioned
+	}
+	if !c.p.allowWrite() {
 		return 0, ErrPartitioned
 	}
 	return c.Conn.Write(b)

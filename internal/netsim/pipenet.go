@@ -1,0 +1,105 @@
+package netsim
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// PipeNet is an in-memory named network: listeners bind names, dials
+// connect to them over synchronous net.Pipe pairs (deadline-capable, so
+// the server's idle/write timeouts behave as on TCP). It gives the
+// multi-node cluster harness a whole network topology — K servers, a
+// router, partitions per link — inside one process with no ports, no
+// kernel buffering, and fully deterministic delivery.
+type PipeNet struct {
+	mu        sync.Mutex
+	listeners map[string]*pipeListener
+}
+
+// NewPipeNet returns an empty network.
+func NewPipeNet() *PipeNet {
+	return &PipeNet{listeners: make(map[string]*pipeListener)}
+}
+
+// Listen binds a name. Rebinding a name that is still bound fails;
+// closing the returned listener releases the name (so a restarted node
+// can bind it again).
+func (p *PipeNet) Listen(name string) (net.Listener, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.listeners[name]; ok {
+		return nil, fmt.Errorf("netsim: %q already bound", name)
+	}
+	l := &pipeListener{
+		net:  p,
+		name: name,
+		ch:   make(chan net.Conn),
+		done: make(chan struct{}),
+	}
+	p.listeners[name] = l
+	return l, nil
+}
+
+// Dial connects to a bound name, handing the server side to the
+// listener's Accept. Dialing an unbound (or closed) name fails the way
+// a connection refused does.
+func (p *PipeNet) Dial(name string) (net.Conn, error) {
+	p.mu.Lock()
+	l, ok := p.listeners[name]
+	p.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("netsim: dial %q: connection refused", name)
+	}
+	client, server := net.Pipe()
+	select {
+	case l.ch <- server:
+		return client, nil
+	case <-l.done:
+		client.Close()
+		server.Close()
+		return nil, fmt.Errorf("netsim: dial %q: connection refused", name)
+	}
+}
+
+// unbind releases a closed listener's name if it still owns it.
+func (p *PipeNet) unbind(l *pipeListener) {
+	p.mu.Lock()
+	if cur, ok := p.listeners[l.name]; ok && cur == l {
+		delete(p.listeners, l.name)
+	}
+	p.mu.Unlock()
+}
+
+type pipeListener struct {
+	net  *PipeNet
+	name string
+	ch   chan net.Conn
+	done chan struct{}
+
+	closeOnce sync.Once
+}
+
+func (l *pipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *pipeListener) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.done)
+		l.net.unbind(l)
+	})
+	return nil
+}
+
+func (l *pipeListener) Addr() net.Addr { return pipeAddr(l.name) }
+
+type pipeAddr string
+
+func (pipeAddr) Network() string  { return "pipe" }
+func (a pipeAddr) String() string { return string(a) }

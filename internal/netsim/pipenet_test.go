@@ -1,0 +1,173 @@
+package netsim
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestPipeNetDialListen(t *testing.T) {
+	pn := NewPipeNet()
+	ln, err := pn.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ln.Addr().String() != "srv" || ln.Addr().Network() != "pipe" {
+		t.Fatalf("listener addr %v/%v", ln.Addr().Network(), ln.Addr())
+	}
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 5)
+		if _, err := conn.Read(buf); err != nil {
+			done <- err
+			return
+		}
+		_, err = conn.Write(buf)
+		done <- err
+	}()
+	c, err := pn.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := c.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("echoed %q", buf)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipeNetDeadlines(t *testing.T) {
+	pn := NewPipeNet()
+	ln, err := pn.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			defer conn.Close()
+			// Hold the conn open without writing so the client's read
+			// deadline, not an EOF, ends the read.
+			buf := make([]byte, 1)
+			conn.Read(buf)
+		}
+	}()
+	c, err := pn.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SetReadDeadline(time.Now().Add(5 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("read past deadline succeeded")
+	}
+}
+
+func TestPipeNetUnboundAndRebind(t *testing.T) {
+	pn := NewPipeNet()
+	if _, err := pn.Dial("ghost"); err == nil {
+		t.Fatal("dial of unbound name succeeded")
+	}
+	ln, err := pn.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pn.Listen("srv"); err == nil {
+		t.Fatal("double bind succeeded")
+	}
+	ln.Close()
+	if _, err := pn.Dial("srv"); err == nil {
+		t.Fatal("dial of closed name succeeded")
+	}
+	if _, err := ln.Accept(); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("accept on closed listener: %v", err)
+	}
+	// A restarted node rebinds its name.
+	ln2, err := pn.Listen("srv")
+	if err != nil {
+		t.Fatalf("rebind after close: %v", err)
+	}
+	ln2.Close()
+}
+
+// SeverAfterWrites counts successful writes across the partition's
+// tracked connections and severs exactly when the credit runs out: n
+// writes pass, the (n+1)th fails, and the gate stays down until healed.
+func TestPartitionSeverAfterWrites(t *testing.T) {
+	pn := NewPipeNet()
+	ln, err := pn.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 64)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	p := NewPartition()
+	dial := p.Dialer(func(addr string, _ time.Duration) (net.Conn, error) {
+		return pn.Dial(addr)
+	})
+	conn, err := dial("srv", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SeverAfterWrites(3)
+	for i := 0; i < 3; i++ {
+		if _, err := conn.Write([]byte("ok")); err != nil {
+			t.Fatalf("write %d within credit failed: %v", i, err)
+		}
+	}
+	if _, err := conn.Write([]byte("boom")); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("write past credit: %v, want ErrPartitioned", err)
+	}
+	if !p.Down() {
+		t.Fatal("credit exhaustion did not sever the link")
+	}
+	if _, err := dial("srv", time.Second); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("dial while severed: %v, want ErrPartitioned", err)
+	}
+	p.Heal()
+	conn2, err := dial("srv", time.Second)
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	defer conn2.Close()
+	// Healing also disarms the counter: writes flow freely again.
+	for i := 0; i < 10; i++ {
+		if _, err := conn2.Write([]byte("ok")); err != nil {
+			t.Fatalf("write %d after heal failed: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package server
+
+// Cluster-facing server surface: a beesd node in a sharded cluster
+// (internal/cluster) hosts one full Server per owned shard, so each
+// shard replica gets the whole durability + dedup + accounting stack
+// for free. This file adds the entry points a shard replica needs
+// beyond the single-node API:
+//
+//   - ApplyShardCommit: the replica apply path — like
+//     CommitManifestsNonce, but under router-assigned global IDs
+//     instead of locally sequential ones, logged as recShardCommit.
+//   - QueryCandidates: the raw LSH candidate list (votes + exact
+//     similarities, zero-sim entries included) the router's global
+//     re-rank needs to reproduce single-node query results.
+//   - DedupEntries/SeedDedup: export and reseed of the nonce retry
+//     window, so a replacement replica cloned via snapshot streaming
+//     still answers late replays with the original IDs.
+
+import (
+	"fmt"
+
+	"bees/internal/blockstore"
+	"bees/internal/features"
+	"bees/internal/index"
+	"bees/internal/par"
+)
+
+// ApplyShardCommit applies one shard's slice of a cluster upload batch
+// exactly once per nonce, under the router-assigned IDs (one per
+// upload; the router allocates from a global sequence, so a shard's
+// IDs are not contiguous). Every named block must already be staged;
+// on any validation failure nothing is committed. A retried nonce
+// replays the originally recorded IDs without re-applying.
+func (s *Server) ApplyShardCommit(nonce uint64, ids []int64, ups []ManifestUpload) ([]int64, error) {
+	if len(ids) != len(ups) {
+		return nil, fmt.Errorf("server: shard commit: %d ids for %d uploads", len(ids), len(ups))
+	}
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	if err := s.durabilityErr(); err != nil {
+		return nil, err
+	}
+	if nonce != 0 {
+		if prev, ok := s.dedup.lookup(nonce); ok && len(prev) > 0 {
+			s.tel.Counter("server.upload.dedup_hits").Inc()
+			return prev, nil
+		}
+	}
+	if len(ups) == 0 {
+		return nil, nil
+	}
+	manifests := make([]blockstore.Manifest, len(ups))
+	items := make([]UploadItem, len(ups))
+	for i := range ups {
+		if err := ups[i].Manifest.Validate(); err != nil {
+			return nil, fmt.Errorf("server: shard manifest %d: %w", i, err)
+		}
+		if got, want := int64(ups[i].Meta.Bytes), ups[i].Manifest.TotalBytes; got != want {
+			return nil, fmt.Errorf("server: shard manifest %d: meta bytes %d != manifest total %d", i, got, want)
+		}
+		manifests[i] = ups[i].Manifest
+		items[i] = UploadItem{Set: ups[i].Set, Meta: ups[i].Meta}
+	}
+	if err := s.blocks.Commit(manifests...); err != nil {
+		return nil, err
+	}
+	s.installUploadsAt(ids, items)
+	if err := s.logRecord(encodeShardCommitRecord(nonce, ids, ups)); err != nil {
+		return nil, err
+	}
+	if nonce != 0 {
+		s.dedup.record(nonce, ids)
+	}
+	return ids, nil
+}
+
+// installUploadsAt applies an upload batch under explicit IDs: bytes
+// accounted, history appended in item order, nextID advanced past the
+// largest ID seen, and the feature sets indexed concurrently. Callers
+// hold stateMu for read.
+func (s *Server) installUploadsAt(ids []int64, items []UploadItem) {
+	s.mu.Lock()
+	for i := range items {
+		s.received += int64(items[i].Meta.Bytes)
+		s.uploads = append(s.uploads, index.ImageID(ids[i]))
+		s.metas = append(s.metas, items[i].Meta)
+		if next := index.ImageID(ids[i]) + 1; next > s.nextID {
+			s.nextID = next
+		}
+	}
+	s.mu.Unlock()
+	s.tel.Counter("server.index.uploads").Add(int64(len(items)))
+	par.Do(len(items), func(i int) {
+		it := items[i]
+		if it.Set == nil {
+			return
+		}
+		s.idx.Add(&index.Entry{
+			ID:      index.ImageID(ids[i]),
+			Set:     it.Set,
+			GroupID: it.Meta.GroupID,
+			Lat:     it.Meta.Lat,
+			Lon:     it.Meta.Lon,
+		})
+	})
+}
+
+// installRecordedUploadIDs reinstates a replayed shard commit under its
+// originally assigned (non-contiguous) IDs.
+func (s *Server) installRecordedUploadIDs(ids []int64, items []UploadItem) {
+	s.installUploadsAt(ids, items)
+}
+
+// QueryCandidates exposes the index's raw LSH candidate ranking — the
+// top-limit candidates by (votes desc, ID asc) with their exact
+// similarities, zero-sim collisions included. Votes depend only on the
+// query, the stored entry, and the seeded bit selectors, so candidate
+// lists from different shard servers merge into exactly the ranking a
+// single combined index would produce.
+func (s *Server) QueryCandidates(set *features.BinarySet, limit int) []index.Candidate {
+	return s.idx.QueryCandidates(set, limit)
+}
+
+// NextID returns the server's ID horizon: one past the largest image ID
+// it has applied (0 when empty). The cluster router bootstraps its
+// global ID sequence from the max across shards.
+func (s *Server) NextID() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(s.nextID)
+}
+
+// DedupEntry is one nonce-window entry, exported for replica sync.
+type DedupEntry struct {
+	Nonce uint64
+	IDs   []int64
+}
+
+// DedupEntries returns the nonce retry window in FIFO order, oldest
+// first, so a replica clone can reseed an identical window.
+func (s *Server) DedupEntries() []DedupEntry {
+	return s.dedup.entries()
+}
+
+// SeedDedup installs one nonce-window entry, in the order called —
+// used when rebuilding a replica from a ShardSync stream.
+func (s *Server) SeedDedup(nonce uint64, ids []int64) {
+	if nonce == 0 {
+		return
+	}
+	s.dedup.record(nonce, ids)
+}

@@ -97,8 +97,16 @@ func Recover(cfg RecoverConfig) (*Server, RecoverStats, error) {
 	// the nonce window; at or above it, the record is applied.
 	if cfg.WAL.Dir != "" {
 		snapNextID := s.nextID
+		// Shard-commit records carry router-assigned IDs that need not be
+		// applied in ID order, so the snapNextID horizon alone cannot tell
+		// "already in the snapshot" from "lost after the cut" for them; an
+		// exact membership set over the snapshot's upload history can.
+		snapIDs := make(map[index.ImageID]struct{}, len(s.uploads))
+		for _, id := range s.uploads {
+			snapIDs[id] = struct{}{}
+		}
 		rst, err := wal.Replay(cfg.WAL, func(p []byte) error {
-			if aerr := s.applyWALRecord(p, snapNextID); aerr != nil {
+			if aerr := s.applyWALRecord(p, snapNextID, snapIDs); aerr != nil {
 				stats.WALBadRecords++
 			}
 			return nil
@@ -136,7 +144,7 @@ func (s *Server) snapshotLoaded() bool {
 // apply failures are reported for counting and the record is skipped —
 // the framing checksum already passed, so this is version skew, not
 // disk corruption, and losing one record beats refusing to start.
-func (s *Server) applyWALRecord(p []byte, snapNextID index.ImageID) error {
+func (s *Server) applyWALRecord(p []byte, snapNextID index.ImageID, snapIDs map[index.ImageID]struct{}) error {
 	rec, err := decodeWALRecord(p)
 	if err != nil {
 		return err
@@ -168,6 +176,24 @@ func (s *Server) applyWALRecord(p []byte, snapNextID index.ImageID) error {
 			s.installRecordedUpload(r.firstID, items)
 		}
 		s.seedDedup(r.nonce, r.firstID, len(r.ups))
+	case *walShardCommit:
+		// The record is applied atomically under the snapshot cut, so its
+		// IDs are either all in the snapshot's upload history or none are.
+		if _, inSnap := snapIDs[index.ImageID(r.ids[0])]; !inSnap {
+			items := make([]UploadItem, len(r.ups))
+			manifests := make([]blockstore.Manifest, len(r.ups))
+			for i := range r.ups {
+				manifests[i] = r.ups[i].Manifest
+				items[i] = UploadItem{Set: r.ups[i].Set, Meta: r.ups[i].Meta}
+			}
+			if err := s.blocks.Commit(manifests...); err != nil {
+				return err
+			}
+			s.installRecordedUploadIDs(r.ids, items)
+		}
+		if r.nonce != 0 {
+			s.dedup.record(r.nonce, r.ids)
+		}
 	}
 	return nil
 }

@@ -66,6 +66,23 @@ type TCPConfig struct {
 	// the flag gates advertisement, not capability — so operators can
 	// stage a rollback without stranding mid-transfer clients.
 	DisableBlocks bool
+	// Cluster, when set, makes this endpoint a cluster node: the shard
+	// frames (ShardRoute/ShardQuery/ShardSync) are dispatched to it and
+	// FeatureCluster is advertised in Hello. Nil answers shard frames
+	// with an error (the single-node default).
+	Cluster ClusterHandler
+}
+
+// ClusterHandler serves the sharded-cluster frames. Implemented by
+// cluster.Node; the indirection keeps internal/server free of a
+// dependency on internal/cluster (which imports this package for its
+// per-shard servers). A handler returns the wire response to send —
+// an ErrorResponse for validation failures — or an error when the
+// connection must drop without acknowledging (durability loss).
+type ClusterHandler interface {
+	HandleShardRoute(m *wire.ShardRoute) (any, error)
+	HandleShardQuery(m *wire.ShardQuery) (any, error)
+	HandleShardSync(m *wire.ShardSync) (any, error)
 }
 
 func (c TCPConfig) withDefaults() TCPConfig {
@@ -153,10 +170,17 @@ func (t *TCPServer) Listen(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
 	}
+	return t.Serve(ln), nil
+}
+
+// Serve starts accepting on an already-bound listener — the in-process
+// cluster harness serves over netsim pipe listeners this way — and
+// returns its address. Close still closes the listener.
+func (t *TCPServer) Serve(ln net.Listener) net.Addr {
 	t.ln = ln
 	t.wg.Add(1)
 	go t.acceptLoop()
-	return ln.Addr(), nil
+	return ln.Addr()
 }
 
 func (t *TCPServer) acceptLoop() {
@@ -257,6 +281,8 @@ func (t *TCPServer) admitUtility(conn net.Conn, typ wire.MsgType, payloadLen int
 		gain = m.MaxGain()
 	case *wire.ManifestCommit:
 		gain = m.MaxGain()
+	case *wire.ShardRoute:
+		gain = m.MaxGain()
 	}
 	if !t.adm.Admit(tkt, gain) {
 		return t.busy(conn)
@@ -271,7 +297,7 @@ func (t *TCPServer) admitUtility(conn net.Conn, typ wire.MsgType, payloadLen int
 // uploadFrame reports whether a sheddable frame carries upload gains.
 func uploadFrame(typ wire.MsgType) bool {
 	return typ == wire.MsgUploadRequest || typ == wire.MsgUploadBatchRequest ||
-		typ == wire.MsgManifestCommit
+		typ == wire.MsgManifestCommit || typ == wire.MsgShardRoute
 }
 
 // sheddable reports whether a frame type participates in load shedding.
@@ -279,11 +305,14 @@ func uploadFrame(typ wire.MsgType) bool {
 // responses stay cheap and must keep flowing so operators can observe an
 // overloaded server. Hello is deliberately exempt — refusing negotiation
 // would push clients onto the *more* expensive whole-image path exactly
-// when the server is overloaded.
+// when the server is overloaded. ShardSync is exempt too: it is repair
+// traffic — shedding it would keep a healing replica degraded exactly
+// when the cluster most needs its capacity back.
 func sheddable(typ wire.MsgType) bool {
 	switch typ {
 	case wire.MsgQueryRequest, wire.MsgUploadRequest, wire.MsgUploadBatchRequest,
-		wire.MsgBlockQuery, wire.MsgBlockPut, wire.MsgManifestCommit:
+		wire.MsgBlockQuery, wire.MsgBlockPut, wire.MsgManifestCommit,
+		wire.MsgShardRoute, wire.MsgShardQuery:
 		return true
 	}
 	return false
@@ -373,6 +402,9 @@ func (t *TCPServer) handle(conn net.Conn, msg any) error {
 		if t.cfg.DisableBlocks {
 			feats = 0
 		}
+		if t.cfg.Cluster != nil {
+			feats |= wire.FeatureCluster
+		}
 		return wire.WriteFrame(conn, &wire.Hello{
 			Version:  wire.ProtocolVersion,
 			Features: feats,
@@ -394,6 +426,21 @@ func (t *TCPServer) handle(conn net.Conn, msg any) error {
 		}
 		t.tel.Counter("server.frames.manifest_commit").Inc()
 		return wire.WriteFrame(conn, resp)
+	case *wire.ShardRoute:
+		t.tel.Counter("server.frames.shard_route").Inc()
+		return t.clusterDispatch(conn, func(h ClusterHandler) (any, error) {
+			return h.HandleShardRoute(m)
+		})
+	case *wire.ShardQuery:
+		t.tel.Counter("server.frames.shard_query").Inc()
+		return t.clusterDispatch(conn, func(h ClusterHandler) (any, error) {
+			return h.HandleShardQuery(m)
+		})
+	case *wire.ShardSync:
+		t.tel.Counter("server.frames.shard_sync").Inc()
+		return t.clusterDispatch(conn, func(h ClusterHandler) (any, error) {
+			return h.HandleShardSync(m)
+		})
 	case *wire.TelemetryPush:
 		t.tel.Counter("server.frames.telemetry").Inc()
 		var s telemetry.Snapshot
@@ -412,6 +459,22 @@ func (t *TCPServer) handle(conn net.Conn, msg any) error {
 			Message: fmt.Sprintf("unexpected message %T", msg),
 		})
 	}
+}
+
+// clusterDispatch routes a shard frame to the configured cluster
+// handler: no handler answers with an error frame (a cluster frame hit
+// a single-node server), a handler error drops the connection without
+// acknowledging (durability loss on the shard server), and otherwise
+// the handler's response is written as-is.
+func (t *TCPServer) clusterDispatch(conn net.Conn, call func(ClusterHandler) (any, error)) error {
+	if t.cfg.Cluster == nil {
+		return wire.WriteFrame(conn, &wire.ErrorResponse{Message: "server: not a cluster node"})
+	}
+	resp, err := call(t.cfg.Cluster)
+	if err != nil {
+		return err
+	}
+	return wire.WriteFrame(conn, resp)
 }
 
 // ClientSnapshot returns the accumulated client-pushed telemetry.
@@ -619,6 +682,21 @@ func (d *uploadDedup) lookup(nonce uint64) ([]int64, bool) {
 	defer d.mu.Unlock()
 	ids, ok := d.ids[nonce]
 	return ids, ok
+}
+
+// entries returns the window in FIFO order (oldest first), copied so
+// replica sync can serialize it without holding the lock.
+func (d *uploadDedup) entries() []DedupEntry {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]DedupEntry, 0, len(d.order))
+	for _, nonce := range d.order {
+		out = append(out, DedupEntry{
+			Nonce: nonce,
+			IDs:   append([]int64(nil), d.ids[nonce]...),
+		})
+	}
+	return out
 }
 
 func (d *uploadDedup) record(nonce uint64, ids []int64) {

@@ -29,9 +29,10 @@ import (
 // process.
 
 const (
-	recUpload   = 1
-	recBlockPut = 2
-	recCommit   = 3
+	recUpload      = 1
+	recBlockPut    = 2
+	recCommit      = 3
+	recShardCommit = 4
 )
 
 // maxWALBatchItems bounds decode-time allocation against corrupt
@@ -64,6 +65,17 @@ type walCommit struct {
 	ups     []ManifestUpload
 }
 
+// walShardCommit is a decoded recShardCommit: one acknowledged cluster
+// shard commit. Unlike recUpload/recCommit, whose IDs are locally
+// assigned and therefore contiguous from firstID, a shard commit's IDs
+// are router-assigned out of a *global* sequence split across shards,
+// so the record carries the explicit ID list.
+type walShardCommit struct {
+	nonce uint64
+	ids   []int64
+	ups   []ManifestUpload
+}
+
 func encodeUploadRecord(nonce uint64, firstID index.ImageID, items []UploadItem) []byte {
 	b := make([]byte, 0, 64+64*len(items))
 	b = append(b, recUpload)
@@ -93,6 +105,26 @@ func encodeCommitRecord(nonce uint64, firstID index.ImageID, ups []ManifestUploa
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(ups)))
 	for i := range ups {
 		u := &ups[i]
+		b = appendWALMeta(b, &u.Meta)
+		b = appendWALSet(b, u.Set)
+		b = binary.LittleEndian.AppendUint64(b, uint64(u.Manifest.TotalBytes))
+		b = binary.LittleEndian.AppendUint64(b, uint64(u.Manifest.BlockSize))
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(u.Manifest.Hashes)))
+		for _, h := range u.Manifest.Hashes {
+			b = append(b, h[:]...)
+		}
+	}
+	return b
+}
+
+func encodeShardCommitRecord(nonce uint64, ids []int64, ups []ManifestUpload) []byte {
+	b := make([]byte, 0, 64+136*len(ups))
+	b = append(b, recShardCommit)
+	b = binary.LittleEndian.AppendUint64(b, nonce)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(ups)))
+	for i := range ups {
+		u := &ups[i]
+		b = binary.LittleEndian.AppendUint64(b, uint64(ids[i]))
 		b = appendWALMeta(b, &u.Meta)
 		b = appendWALSet(b, u.Set)
 		b = binary.LittleEndian.AppendUint64(b, uint64(u.Manifest.TotalBytes))
@@ -274,6 +306,55 @@ func decodeWALRecord(p []byte) (any, error) {
 		rec := &walCommit{nonce: nonce, firstID: index.ImageID(firstID)}
 		rec.ups = make([]ManifestUpload, count)
 		for i := range rec.ups {
+			u := &rec.ups[i]
+			if u.Meta, err = d.meta(); err != nil {
+				return nil, err
+			}
+			if u.Set, err = d.set(); err != nil {
+				return nil, err
+			}
+			total, err := d.u64()
+			if err != nil {
+				return nil, err
+			}
+			blockSize, err := d.u64()
+			if err != nil {
+				return nil, err
+			}
+			nHashes, err := d.u32()
+			if err != nil || nHashes > maxWALBatchItems {
+				return nil, errBadWALRecord
+			}
+			u.Manifest.TotalBytes = int64(total)
+			u.Manifest.BlockSize = int(blockSize)
+			u.Manifest.Hashes = make([]blockstore.Hash, nHashes)
+			for j := range u.Manifest.Hashes {
+				hb, err := d.bytes(len(blockstore.Hash{}))
+				if err != nil {
+					return nil, err
+				}
+				copy(u.Manifest.Hashes[j][:], hb)
+			}
+		}
+		return rec, trailing(d)
+	case recShardCommit:
+		nonce, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		count, err := d.u32()
+		if err != nil || count == 0 || count > maxWALBatchItems {
+			return nil, errBadWALRecord
+		}
+		rec := &walShardCommit{nonce: nonce}
+		rec.ids = make([]int64, count)
+		rec.ups = make([]ManifestUpload, count)
+		for i := range rec.ups {
+			id, err := d.u64()
+			if err != nil {
+				return nil, err
+			}
+			rec.ids[i] = int64(id)
 			u := &rec.ups[i]
 			if u.Meta, err = d.meta(); err != nil {
 				return nil, err

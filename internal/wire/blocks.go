@@ -27,8 +27,6 @@ package wire
 import (
 	"encoding/binary"
 	"errors"
-	"math"
-
 	"bees/internal/blockstore"
 	"bees/internal/features"
 )
@@ -41,6 +39,10 @@ const (
 	// FeatureBlocks: the sender speaks the content-addressed block
 	// transfer frames (BlockQuery/BlockPut/ManifestCommit).
 	FeatureBlocks uint64 = 1 << 0
+	// FeatureCluster: the sender speaks the sharded-cluster frames
+	// (ShardRoute/ShardQuery/ShardSync). Advertised by beesd nodes
+	// started with a cluster node table.
+	FeatureCluster uint64 = 1 << 1
 )
 
 // Hello is the capability handshake, sent by the client as the first
@@ -282,22 +284,7 @@ func encodeManifestCommit(m *ManifestCommit) []byte {
 	buf := encodeU64(m.Nonce)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Items)))
 	for i := range m.Items {
-		it := &m.Items[i]
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(it.GroupID))
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(it.Lat))
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(it.Lon))
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(it.Gain))
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(it.TotalBytes))
-		buf = binary.LittleEndian.AppendUint32(buf, it.BlockSize)
-		set := it.Set
-		if set == nil {
-			set = &features.BinarySet{}
-		}
-		buf = encodeSet(buf, set)
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(it.Hashes)))
-		for j := range it.Hashes {
-			buf = append(buf, it.Hashes[j][:]...)
-		}
+		buf = appendManifestItem(buf, &m.Items[i])
 	}
 	return buf
 }
@@ -319,35 +306,11 @@ func decodeManifestCommit(payload []byte) (*ManifestCommit, error) {
 	}
 	req.Items = make([]ManifestItem, 0, prealloc)
 	for i := 0; i < n; i++ {
-		if len(payload) < 44 {
-			return nil, errors.New("wire: truncated manifest item")
-		}
-		it := ManifestItem{
-			GroupID:    int64(binary.LittleEndian.Uint64(payload)),
-			Lat:        math.Float64frombits(binary.LittleEndian.Uint64(payload[8:])),
-			Lon:        math.Float64frombits(binary.LittleEndian.Uint64(payload[16:])),
-			Gain:       math.Float64frombits(binary.LittleEndian.Uint64(payload[24:])),
-			TotalBytes: int64(binary.LittleEndian.Uint64(payload[32:])),
-			BlockSize:  binary.LittleEndian.Uint32(payload[40:]),
-		}
-		set, rest, err := decodeSet(payload[44:])
+		it, rest, err := decodeManifestItem(payload)
 		if err != nil {
 			return nil, err
 		}
-		it.Set = set
-		if len(rest) < 4 {
-			return nil, errors.New("wire: truncated manifest hash count")
-		}
-		nh := int(binary.LittleEndian.Uint32(rest))
-		rest = rest[4:]
-		if len(rest) < nh*hashLen {
-			return nil, errors.New("wire: truncated manifest hashes")
-		}
-		it.Hashes = make([]blockstore.Hash, nh)
-		for j := 0; j < nh; j++ {
-			copy(it.Hashes[j][:], rest[j*hashLen:])
-		}
-		payload = rest[nh*hashLen:]
+		payload = rest
 		req.Items = append(req.Items, it)
 	}
 	if len(payload) != 0 {

@@ -41,6 +41,18 @@ func FuzzReadFrame(f *testing.F) {
 		&BlockPutResponse{Stored: 1, Dup: 1},
 		seedManifestCommit(),
 		&ManifestCommitResponse{IDs: []int64{1, 2}},
+		seedShardRoute(),
+		&ShardRouteResponse{Have: []bool{true, false}, IDs: []int64{5}},
+		&ShardQuery{Shards: []uint32{1, 4}, Limit: 24, Sets: []*features.BinarySet{randomSet(rng, 2)}},
+		&ShardQueryResponse{
+			Stats:  []ShardStat{{Shard: 1, Images: 2, Bytes: 64, NextID: 9}},
+			PerSet: [][]ShardCandidate{{{ID: 3, Votes: 4, Sim: 0.5}}},
+		},
+		&ShardSync{Shard: 3},
+		&ShardSyncResponse{
+			Snapshot: []byte("snap"),
+			Nonces:   []NonceEntry{{Nonce: 8, IDs: []int64{1, 2}}},
+		},
 	}
 	for _, msg := range seeds {
 		f.Add(encodeFrame(f, msg))
@@ -137,6 +149,104 @@ func FuzzBlockPut(f *testing.F) {
 			t.Fatalf("decoded %d block bytes from a %d-byte payload", total, len(payload))
 		}
 		if re := encodeBlockPut(p); !bytes.Equal(re, payload) {
+			t.Fatalf("re-encode altered payload\n got %x\nwant %x", re, payload)
+		}
+	})
+}
+
+// seedShardRoute builds a structurally consistent shard route frame —
+// IDs matched to Items, a query hash, and one staged block — for
+// seeding the fuzzers.
+func seedShardRoute() *ShardRoute {
+	blob := blockstore.SynthPayload(2, 200)
+	m := blockstore.ManifestOf(blob, 128)
+	rng := rand.New(rand.NewSource(11))
+	return &ShardRoute{
+		Nonce: 31,
+		Shard: 2,
+		IDs:   []int64{14},
+		Query: m.Hashes,
+		Blocks: []Block{
+			{Hash: blockstore.HashBlock(blob[:128]), Data: blob[:128]},
+		},
+		Items: []ManifestItem{{
+			Set:        randomSet(rng, 2),
+			GroupID:    6,
+			Lat:        0.5,
+			Lon:        -0.25,
+			Gain:       1.5,
+			TotalBytes: m.TotalBytes,
+			BlockSize:  uint32(m.BlockSize),
+			Hashes:     m.Hashes,
+		}},
+	}
+}
+
+// FuzzShardRoute hammers the ShardRoute decoder: arbitrary payload
+// bytes must never panic, anything accepted must re-encode to the
+// identical payload, carry exactly one router ID per committed item,
+// and never announce more hashes or block bytes than the payload held.
+func FuzzShardRoute(f *testing.F) {
+	f.Add(encodePayload(f, seedShardRoute()))
+	f.Add(encodePayload(f, &ShardRoute{Nonce: 1, Shard: 7}))
+	f.Add(encodePayload(f, &ShardRoute{Flags: ShardRouteForwarded, Query: []blockstore.Hash{blockstore.HashBlock(nil)}}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		msg, err := DecodePayload(MsgShardRoute, payload)
+		if err != nil {
+			return
+		}
+		m, ok := msg.(*ShardRoute)
+		if !ok {
+			t.Fatalf("decoded %T", msg)
+		}
+		if len(m.IDs) != len(m.Items) {
+			t.Fatalf("decoder accepted %d ids for %d items", len(m.IDs), len(m.Items))
+		}
+		total := len(m.Query) * hashLen
+		for i := range m.Blocks {
+			total += len(m.Blocks[i].Data)
+		}
+		for i := range m.Items {
+			total += len(m.Items[i].Hashes) * hashLen
+		}
+		if total > len(payload) {
+			t.Fatalf("decoded %d content bytes from a %d-byte payload", total, len(payload))
+		}
+		if re := encodeShardRoute(m); !bytes.Equal(re, payload) {
+			t.Fatalf("re-encode altered payload\n got %x\nwant %x", re, payload)
+		}
+	})
+}
+
+// FuzzShardSync hammers the ShardSyncResponse decoder (the request is a
+// fixed-width trivial frame; the response carries the whole replica
+// state): no panics, canonical re-encoding, and the snapshot plus nonce
+// window never announce more bytes than the payload carried.
+func FuzzShardSync(f *testing.F) {
+	f.Add(encodePayload(f, &ShardSyncResponse{
+		Snapshot: []byte("BEES-snapshot"),
+		Nonces:   []NonceEntry{{Nonce: 5, IDs: []int64{0, 1}}, {Nonce: 6}},
+	}))
+	f.Add(encodePayload(f, &ShardSyncResponse{}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		msg, err := DecodePayload(MsgShardSyncResponse, payload)
+		if err != nil {
+			return
+		}
+		m, ok := msg.(*ShardSyncResponse)
+		if !ok {
+			t.Fatalf("decoded %T", msg)
+		}
+		total := len(m.Snapshot)
+		for i := range m.Nonces {
+			total += minNonceEntryBytes + len(m.Nonces[i].IDs)*8
+		}
+		if total > len(payload) {
+			t.Fatalf("decoded %d content bytes from a %d-byte payload", total, len(payload))
+		}
+		if re := encodeShardSyncResponse(m); !bytes.Equal(re, payload) {
 			t.Fatalf("re-encode altered payload\n got %x\nwant %x", re, payload)
 		}
 	})

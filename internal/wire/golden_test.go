@@ -93,6 +93,56 @@ func goldenFrames() []struct {
 			},
 		}},
 		{"manifest_commit_response", &ManifestCommitResponse{IDs: []int64{11, -1}}},
+		{"shard_route", &ShardRoute{
+			Nonce: 0xabad1dea5eed5eed,
+			Shard: 5,
+			Flags: ShardRouteForwarded,
+			IDs:   []int64{17, 23},
+			Query: []blockstore.Hash{blockstore.HashBlock([]byte("block-a"))},
+			Blocks: []Block{
+				{Hash: blockstore.HashBlock([]byte("block-b")), Data: []byte("block-b")},
+			},
+			Items: []ManifestItem{
+				{
+					Set:        set,
+					GroupID:    9,
+					Lat:        -33.8688,
+					Lon:        151.2093,
+					Gain:       0.25,
+					TotalBytes: 7,
+					BlockSize:  8,
+					Hashes:     []blockstore.Hash{blockstore.HashBlock([]byte("block-b"))},
+				},
+				{Set: &features.BinarySet{}, GroupID: -4, TotalBytes: 0, BlockSize: 131072},
+			},
+		}},
+		{"shard_route_response", &ShardRouteResponse{
+			Have: []bool{true, false, true},
+			IDs:  []int64{17, 23},
+		}},
+		{"shard_query", &ShardQuery{
+			Shards: []uint32{0, 3, 7},
+			Limit:  24,
+			Sets:   []*features.BinarySet{set, {}},
+		}},
+		{"shard_query_response", &ShardQueryResponse{
+			Stats: []ShardStat{
+				{Shard: 0, Images: 12, Bytes: 4096, NextID: 31},
+				{Shard: 3, Images: 0, Bytes: 0, NextID: 0},
+			},
+			PerSet: [][]ShardCandidate{
+				{{ID: 4, Votes: 9, Sim: 0.875}, {ID: 30, Votes: 2, Sim: 0}},
+				nil,
+			},
+		}},
+		{"shard_sync", &ShardSync{Shard: 6}},
+		{"shard_sync_response", &ShardSyncResponse{
+			Snapshot: []byte("BEES-snapshot-bytes"),
+			Nonces: []NonceEntry{
+				{Nonce: 0x1122334455667788, IDs: []int64{3, 4, 5}},
+				{Nonce: 0x99aabbccddeeff00, IDs: nil},
+			},
+		}},
 	}
 }
 

@@ -70,6 +70,12 @@ const (
 	MsgBlockPutResponse
 	MsgManifestCommit
 	MsgManifestCommitResponse
+	MsgShardRoute
+	MsgShardRouteResponse
+	MsgShardQuery
+	MsgShardQueryResponse
+	MsgShardSync
+	MsgShardSyncResponse
 )
 
 // MaxFrameBytes bounds a frame to keep a malformed peer from forcing a
@@ -250,6 +256,18 @@ func WriteFrame(w io.Writer, msg any) error {
 		typ, payload = MsgManifestCommit, encodeManifestCommit(m)
 	case *ManifestCommitResponse:
 		typ, payload = MsgManifestCommitResponse, encodeManifestCommitResponse(m)
+	case *ShardRoute:
+		typ, payload = MsgShardRoute, encodeShardRoute(m)
+	case *ShardRouteResponse:
+		typ, payload = MsgShardRouteResponse, encodeShardRouteResponse(m)
+	case *ShardQuery:
+		typ, payload = MsgShardQuery, encodeShardQuery(m)
+	case *ShardQueryResponse:
+		typ, payload = MsgShardQueryResponse, encodeShardQueryResponse(m)
+	case *ShardSync:
+		typ, payload = MsgShardSync, encodeShardSync(m)
+	case *ShardSyncResponse:
+		typ, payload = MsgShardSyncResponse, encodeShardSyncResponse(m)
 	default:
 		return fmt.Errorf("%w: %T", ErrUnencodable, msg)
 	}
@@ -353,6 +371,18 @@ func DecodePayload(typ MsgType, payload []byte) (any, error) {
 		return decodeManifestCommit(payload)
 	case MsgManifestCommitResponse:
 		return decodeManifestCommitResponse(payload)
+	case MsgShardRoute:
+		return decodeShardRoute(payload)
+	case MsgShardRouteResponse:
+		return decodeShardRouteResponse(payload)
+	case MsgShardQuery:
+		return decodeShardQuery(payload)
+	case MsgShardQueryResponse:
+		return decodeShardQueryResponse(payload)
+	case MsgShardSync:
+		return decodeShardSync(payload)
+	case MsgShardSyncResponse:
+		return decodeShardSyncResponse(payload)
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", typ)
 	}
